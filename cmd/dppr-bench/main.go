@@ -1,0 +1,174 @@
+// Command dppr-bench regenerates the tables behind the figures of the
+// evaluation section of "Parallel Personalized PageRank on Dynamic Graphs"
+// on the synthetic dataset catalog.
+//
+// Usage:
+//
+//	dppr-bench -experiment fig4            # effect of optimizations
+//	dppr-bench -experiment fig5 -quick     # throughput, reduced parameters
+//	dppr-bench -experiment all -datasets youtube,pokec
+//
+// Experiments: fig4, fig5, fig6, fig7, fig8, fig9, fig10, accuracy, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dynppr/internal/bench"
+	"dynppr/internal/gen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dppr-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dppr-bench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "experiment to run: fig4..fig10, accuracy, all")
+		datasets   = fs.String("datasets", "small", "comma-separated dataset names, or 'small', 'full', 'quick'")
+		quick      = fs.Bool("quick", false, "use reduced parameters (fewer slides, looser epsilon)")
+		slides     = fs.Int("slides", 0, "override number of window slides per configuration")
+		epsilon    = fs.Float64("epsilon", 0, "override default error threshold")
+		workers    = fs.Int("workers", 0, "override worker count (0 = GOMAXPROCS)")
+		seed       = fs.Int64("seed", 0, "override random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := bench.DefaultParams()
+	if *quick {
+		params = bench.QuickParams()
+	}
+	if *slides > 0 {
+		params.Slides = *slides
+	}
+	if *epsilon > 0 {
+		params.Epsilon = *epsilon
+	}
+	if *workers > 0 {
+		params.Workers = *workers
+	}
+	if *seed != 0 {
+		params.Seed = *seed
+	}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+
+	ds, err := resolveDatasets(*datasets)
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(ds))
+	for i, d := range ds {
+		names[i] = d.Name
+	}
+	fmt.Printf("datasets: %s | slides: %d | epsilon: %.0e | workers: %d\n\n",
+		strings.Join(names, ", "), params.Slides, params.Epsilon, params.Workers)
+
+	experiments := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "accuracy"}
+	if *experiment != "all" {
+		experiments = []string{*experiment}
+	}
+	for _, e := range experiments {
+		start := time.Now()
+		if err := runExperiment(e, params, ds); err != nil {
+			return fmt.Errorf("%s: %w", e, err)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func resolveDatasets(spec string) ([]gen.Dataset, error) {
+	switch spec {
+	case "small":
+		return gen.SmallCatalog(), nil
+	case "full":
+		return gen.Catalog(), nil
+	case "quick":
+		return bench.QuickDatasets(), nil
+	}
+	var out []gen.Dataset
+	for _, name := range strings.Split(spec, ",") {
+		d, err := gen.DatasetByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func runExperiment(name string, p bench.Params, ds []gen.Dataset) error {
+	w := os.Stdout
+	switch name {
+	case "fig4":
+		fmt.Println("== Figure 4: effect of the parallel-push optimizations ==")
+		rows, err := bench.RunOptimizationEffect(p, ds)
+		if err != nil {
+			return err
+		}
+		return bench.PrintOptimizationRows(w, rows)
+	case "fig5":
+		fmt.Println("== Figure 5: streaming throughput ==")
+		rows, err := bench.RunThroughput(p, ds, nil)
+		if err != nil {
+			return err
+		}
+		return bench.PrintThroughputRows(w, rows)
+	case "fig6":
+		fmt.Println("== Figure 6: effect of epsilon ==")
+		rows, err := bench.RunEpsilonSweep(p, ds)
+		if err != nil {
+			return err
+		}
+		return bench.PrintEpsilonRows(w, rows)
+	case "fig7":
+		fmt.Println("== Figure 7: effect of the source vertex degree ==")
+		rows, err := bench.RunSourceDegree(p, ds)
+		if err != nil {
+			return err
+		}
+		return bench.PrintSourceRows(w, rows)
+	case "fig8":
+		fmt.Println("== Figure 8: effect of the batch size ==")
+		rows, err := bench.RunBatchSize(p, ds)
+		if err != nil {
+			return err
+		}
+		return bench.PrintBatchSizeRows(w, rows)
+	case "fig9":
+		fmt.Println("== Figure 9: resource consumption proxies ==")
+		rows, err := bench.RunResourceProfile(p, ds)
+		if err != nil {
+			return err
+		}
+		return bench.PrintResourceRows(w, rows)
+	case "fig10":
+		fmt.Println("== Figure 10: scalability on multi-cores ==")
+		rows, err := bench.RunScalability(p, ds)
+		if err != nil {
+			return err
+		}
+		return bench.PrintScalabilityRows(w, rows)
+	case "accuracy":
+		fmt.Println("== Accuracy: worst-case estimation error vs. exact PPR ==")
+		rows, err := bench.RunAccuracy(p, ds)
+		if err != nil {
+			return err
+		}
+		return bench.PrintAccuracyRows(w, rows)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"dynppr/internal/bench"
+)
+
+func TestResolveDatasets(t *testing.T) {
+	small, err := resolveDatasets("small")
+	if err != nil || len(small) != 3 {
+		t.Fatalf("small: %d datasets, %v", len(small), err)
+	}
+	full, err := resolveDatasets("full")
+	if err != nil || len(full) != 5 {
+		t.Fatalf("full: %d datasets, %v", len(full), err)
+	}
+	quick, err := resolveDatasets("quick")
+	if err != nil || len(quick) == 0 {
+		t.Fatalf("quick: %d datasets, %v", len(quick), err)
+	}
+	named, err := resolveDatasets("youtube, pokec")
+	if err != nil || len(named) != 2 || named[0].Name != "youtube" || named[1].Name != "pokec" {
+		t.Fatalf("named: %+v, %v", named, err)
+	}
+	if _, err := resolveDatasets("nope"); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	p := bench.QuickParams()
+	if err := runExperiment("fig99", p, bench.QuickDatasets()[:1]); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	p := bench.QuickParams()
+	p.Slides = 1
+	ds := bench.QuickDatasets()[:1]
+	// Exercise a cheap figure end to end through the CLI plumbing.
+	for _, e := range []string{"fig4", "fig9"} {
+		if err := runExperiment(e, p, ds); err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+	}
+}
+
+func TestRunFlagHandling(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag must fail")
+	}
+	if err := run([]string{"-datasets", "nope", "-experiment", "fig4"}); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+	if err := run([]string{"-experiment", "fig6", "-datasets", "quick", "-quick", "-slides", "1", "-workers", "1", "-seed", "3", "-epsilon", "1e-3"}); err != nil {
+		t.Fatalf("quick fig6 run failed: %v", err)
+	}
+}

@@ -1,0 +1,86 @@
+// Command dppr-gen generates synthetic graphs and edge streams in a plain
+// "u v" text format, either from explicit parameters or from the named
+// dataset catalog that mirrors the paper's evaluation datasets.
+//
+// Usage:
+//
+//	dppr-gen -dataset pokec -out pokec.txt
+//	dppr-gen -model rmat -vertices 10000 -edges 200000 -seed 7 -out g.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dynppr/internal/edgeio"
+	"dynppr/internal/gen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dppr-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dppr-gen", flag.ContinueOnError)
+	var (
+		dataset  = fs.String("dataset", "", "named dataset from the catalog (youtube, pokec, livejournal, orkut, twitter)")
+		model    = fs.String("model", "rmat", "graph model: rmat, ba, er")
+		vertices = fs.Int("vertices", 1000, "number of vertices")
+		edges    = fs.Int("edges", 10000, "number of edges")
+		seed     = fs.Int64("seed", 1, "random seed")
+		out      = fs.String("out", "", "output file (default stdout)")
+		list     = fs.Bool("list", false, "list the dataset catalog and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, d := range gen.Catalog() {
+			fmt.Fprintf(stdout, "%-12s model=%-16s vertices=%-8d edges=%-8d (paper: %d vertices, %d edges)\n",
+				d.Name, d.Model, d.Vertices, d.Edges, d.PaperVertices, d.PaperEdges)
+		}
+		return nil
+	}
+
+	cfg, err := resolveConfig(*dataset, *model, *vertices, *edges, *seed)
+	if err != nil {
+		return err
+	}
+	edgeList, err := gen.EdgeList(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *out != "" {
+		return edgeio.SaveFile(*out, edgeList)
+	}
+	return edgeio.Write(stdout, edgeList)
+}
+
+func resolveConfig(dataset, model string, vertices, edges int, seed int64) (gen.Config, error) {
+	if dataset != "" {
+		d, err := gen.DatasetByName(dataset)
+		if err != nil {
+			return gen.Config{}, err
+		}
+		return d.Config, nil
+	}
+	cfg := gen.Config{Vertices: vertices, Edges: edges, Seed: seed}
+	switch model {
+	case "rmat":
+		cfg.Model = gen.RMAT
+	case "ba", "barabasi-albert":
+		cfg.Model = gen.BarabasiAlbert
+	case "er", "erdos-renyi":
+		cfg.Model = gen.ErdosRenyi
+	default:
+		return gen.Config{}, fmt.Errorf("unknown model %q (want rmat, ba, er)", model)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dynppr/internal/edgeio"
+	"dynppr/internal/gen"
+)
+
+func TestResolveConfig(t *testing.T) {
+	cfg, err := resolveConfig("pokec", "", 0, 0, 0)
+	if err != nil || cfg.Name != "pokec" {
+		t.Fatalf("dataset lookup failed: %+v, %v", cfg, err)
+	}
+	if _, err := resolveConfig("no-such-dataset", "", 0, 0, 0); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+	for name, model := range map[string]gen.Model{
+		"rmat": gen.RMAT, "ba": gen.BarabasiAlbert, "barabasi-albert": gen.BarabasiAlbert,
+		"er": gen.ErdosRenyi, "erdos-renyi": gen.ErdosRenyi,
+	} {
+		cfg, err := resolveConfig("", name, 100, 200, 3)
+		if err != nil || cfg.Model != model || cfg.Vertices != 100 || cfg.Edges != 200 || cfg.Seed != 3 {
+			t.Fatalf("model %q: %+v, %v", name, cfg, err)
+		}
+	}
+	if _, err := resolveConfig("", "bogus", 10, 10, 1); err == nil {
+		t.Fatal("unknown model must fail")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"youtube", "pokec", "twitter"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("list output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRunGeneratesToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-model", "er", "-vertices", "50", "-edges", "100", "-seed", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	edges, err := edgeio.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 100 {
+		t.Fatalf("generated %d edges, want 100", len(edges))
+	}
+}
+
+func TestRunGeneratesToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	var buf bytes.Buffer
+	if err := run([]string{"-model", "rmat", "-vertices", "64", "-edges", "300", "-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	edges, err := edgeio.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 300 {
+		t.Fatalf("file has %d edges, want 300", len(edges))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-model", "nope"}, &buf); err == nil {
+		t.Fatal("unknown model must fail")
+	}
+	if err := run([]string{"-vertices", "0"}, &buf); err == nil {
+		t.Fatal("invalid generator config must fail")
+	}
+	if err := run([]string{"-bogus-flag"}, &buf); err == nil {
+		t.Fatal("unknown flag must fail")
+	}
+}

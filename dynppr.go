@@ -1,0 +1,368 @@
+// Package dynppr maintains approximate Personalized PageRank (PPR) vectors
+// over dynamic graphs, in parallel, following "Parallel Personalized PageRank
+// on Dynamic Graphs" (Guo, Li, Sha, Tan — PVLDB 11(1), 2017).
+//
+// The central type is the Tracker: it owns a per-source estimate/residual
+// state over a dynamic directed graph and keeps the estimate within ε of the
+// exact value while edges are inserted and deleted in batches. Internally it
+// runs the paper's local update scheme — invariant restoration per update
+// followed by a local push — with a choice of engines:
+//
+//   - the sequential push of the prior state of the art (Algorithm 2),
+//   - the parallel push (Algorithm 3),
+//   - the optimized parallel push with eager propagation and local duplicate
+//     detection (Algorithm 4, the paper's contribution),
+//   - a vertex-centric (Ligra-style) formulation, provided as a baseline.
+//
+// The value tracked for source s is the contribution PPR: Estimate(v)
+// approximates the probability that a random walk started at v, terminating
+// with probability Alpha at every step, stops at s. Equivalently it is
+// π_v(s), the personalized PageRank of s from source v, so ranking vertices
+// by Estimate answers "who points at s, directly or indirectly, the most".
+//
+// A minimal session:
+//
+//	g := dynppr.NewGraph(0)
+//	g.AddEdge(1, 2)
+//	g.AddEdge(2, 3)
+//	tr, err := dynppr.NewTracker(g, 3, dynppr.DefaultOptions())
+//	...
+//	tr.ApplyBatch(dynppr.Batch{
+//		{U: 4, V: 3, Op: dynppr.Insert},
+//		{U: 1, V: 2, Op: dynppr.Delete},
+//	})
+//	fmt.Println(tr.Estimate(4))
+package dynppr
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dynppr/internal/fp"
+	"dynppr/internal/graph"
+	"dynppr/internal/metrics"
+	"dynppr/internal/power"
+	"dynppr/internal/push"
+	"dynppr/internal/stream"
+	"dynppr/internal/vc"
+)
+
+// Re-exported graph and stream types, so users of the library construct
+// inputs without reaching into internal packages.
+type (
+	// VertexID identifies a vertex; ids are dense non-negative integers.
+	VertexID = graph.VertexID
+	// Edge is a directed edge U -> V.
+	Edge = graph.Edge
+	// Graph is a dynamic directed graph supporting edge insertion/deletion.
+	Graph = graph.Graph
+	// Update is a single edge insertion or deletion.
+	Update = stream.Update
+	// Batch is the set of updates arriving at one time step.
+	Batch = stream.Batch
+	// Op is the update type (Insert or Delete).
+	Op = stream.Op
+	// Variant selects the parallel-push optimizations (see VariantOpt etc.).
+	Variant = push.Variant
+	// Counters reports the work performed by the engine (pushes, atomic
+	// operations, frontier sizes, ...).
+	Counters = metrics.Counters
+)
+
+// Update operation kinds.
+const (
+	// Insert adds the edge U -> V.
+	Insert = stream.Insert
+	// Delete removes the edge U -> V.
+	Delete = stream.Delete
+)
+
+// Parallel-push optimization variants (Table 3 of the paper).
+var (
+	// VariantOpt enables eager propagation and local duplicate detection
+	// (Algorithm 4); this is the default and the paper's contribution.
+	VariantOpt = push.VariantOpt
+	// VariantEager enables only eager propagation.
+	VariantEager = push.VariantEager
+	// VariantDupDetect enables only local duplicate detection.
+	VariantDupDetect = push.VariantDupDetect
+	// VariantVanilla disables both optimizations (Algorithm 3).
+	VariantVanilla = push.VariantVanilla
+)
+
+// NewGraph returns an empty dynamic graph pre-sized for n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// GraphFromEdges builds a graph from an edge list, ignoring duplicates.
+func GraphFromEdges(edges []Edge) *Graph { return graph.FromEdges(edges) }
+
+// EngineKind selects the push engine a Tracker uses.
+type EngineKind int
+
+const (
+	// EngineParallel is the paper's parallel local push (default: the Opt
+	// variant running on all available cores).
+	EngineParallel EngineKind = iota
+	// EngineSequential is the sequential local push baseline.
+	EngineSequential
+	// EngineVertexCentric is the Ligra-style vertex-centric baseline.
+	EngineVertexCentric
+)
+
+// String names the engine kind.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineParallel:
+		return "parallel"
+	case EngineSequential:
+		return "sequential"
+	case EngineVertexCentric:
+		return "vertex-centric"
+	default:
+		return fmt.Sprintf("engine(%d)", int(k))
+	}
+}
+
+// UpdateMode controls how a Tracker processes a batch of updates.
+type UpdateMode int
+
+const (
+	// BatchMode restores the invariant for every update of the batch and then
+	// runs one push to convergence — the paper's batch processing method.
+	BatchMode UpdateMode = iota
+	// SingleUpdateMode restores and pushes after every individual update —
+	// the behaviour of the prior state of the art (CPU-Base), kept for
+	// comparison.
+	SingleUpdateMode
+)
+
+// String names the update mode.
+func (m UpdateMode) String() string {
+	if m == SingleUpdateMode {
+		return "single"
+	}
+	return "batch"
+}
+
+// Options configure a Tracker.
+type Options struct {
+	// Alpha is the teleport/termination probability. Default 0.15.
+	Alpha float64
+	// Epsilon is the approximation threshold: estimates stay within Epsilon
+	// of the exact value. Default 1e-6.
+	Epsilon float64
+	// Engine selects the push implementation. Default EngineParallel.
+	Engine EngineKind
+	// Variant selects the parallel-push optimizations (ignored by the other
+	// engines). Default VariantOpt.
+	Variant Variant
+	// Workers is the degree of parallelism for the parallel and
+	// vertex-centric engines; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Mode selects batch versus per-update processing. Default BatchMode.
+	Mode UpdateMode
+}
+
+// DefaultOptions returns the paper's defaults: α = 0.15, ε = 1e-6, the fully
+// optimized parallel engine in batch mode using every available core.
+func DefaultOptions() Options {
+	return Options{
+		Alpha:   0.15,
+		Epsilon: 1e-6,
+		Engine:  EngineParallel,
+		Variant: VariantOpt,
+		Workers: 0,
+		Mode:    BatchMode,
+	}
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	return push.Config{Alpha: o.Alpha, Epsilon: o.Epsilon}.Validate()
+}
+
+func (o Options) buildEngine() (push.Engine, error) {
+	switch o.Engine {
+	case EngineParallel:
+		return push.NewParallel(o.Variant, o.Workers), nil
+	case EngineSequential:
+		return push.NewSequential(), nil
+	case EngineVertexCentric:
+		workers := o.Workers
+		if workers <= 0 {
+			workers = fp.DefaultWorkers()
+		}
+		return vc.NewPPREngine(workers), nil
+	default:
+		return nil, fmt.Errorf("dynppr: unknown engine kind %v", o.Engine)
+	}
+}
+
+// BatchResult reports what one ApplyBatch call did.
+type BatchResult struct {
+	// Applied is the number of updates that changed the graph (duplicates of
+	// existing edges and deletions of missing edges are skipped).
+	Applied int
+	// Skipped is the number of no-op updates.
+	Skipped int
+	// Latency is the wall-clock time of the whole call (restoration + push).
+	Latency time.Duration
+	// Pushes is the number of push operations the engine performed for this
+	// batch.
+	Pushes int64
+}
+
+// Tracker maintains an ε-approximate PPR vector for one source vertex over a
+// dynamic graph. It is not safe for concurrent use; apply batches from one
+// goroutine (the engine parallelizes internally).
+type Tracker struct {
+	st     *push.State
+	engine push.Engine
+	opts   Options
+}
+
+// NewTracker builds a tracker for the given source over g and brings it to
+// convergence on the current graph. The graph is retained and mutated by
+// ApplyBatch; it must not be mutated elsewhere while the tracker is in use
+// (use a TrackerSet to share one graph between several sources).
+func NewTracker(g *Graph, source VertexID, opts Options) (*Tracker, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	engine, err := opts.buildEngine()
+	if err != nil {
+		return nil, err
+	}
+	st, err := push.NewState(g, source, push.Config{Alpha: opts.Alpha, Epsilon: opts.Epsilon})
+	if err != nil {
+		return nil, err
+	}
+	engine.Run(st, []graph.VertexID{source})
+	return &Tracker{st: st, engine: engine, opts: opts}, nil
+}
+
+// Source returns the tracked source vertex.
+func (t *Tracker) Source() VertexID { return t.st.Source() }
+
+// Graph returns the tracked graph.
+func (t *Tracker) Graph() *Graph { return t.st.Graph() }
+
+// Options returns the options the tracker was built with.
+func (t *Tracker) Options() Options { return t.opts }
+
+// EngineName returns the name of the engine in use (for experiment output).
+func (t *Tracker) EngineName() string { return t.engine.Name() }
+
+// Estimate returns the current PPR estimate of v; it is within Epsilon of the
+// exact value for the current graph.
+func (t *Tracker) Estimate(v VertexID) float64 { return t.st.Estimate(v) }
+
+// Residual returns the current residual of v (the bound on its estimation
+// bias).
+func (t *Tracker) Residual(v VertexID) float64 { return t.st.Residual(v) }
+
+// Estimates returns a copy of the full estimate vector.
+func (t *Tracker) Estimates() []float64 { return t.st.Estimates() }
+
+// Converged reports whether every residual is within Epsilon (always true
+// after ApplyBatch returns).
+func (t *Tracker) Converged() bool { return t.st.Converged() }
+
+// Counters returns a snapshot of the work counters accumulated so far.
+func (t *Tracker) Counters() Counters { return t.st.Counters.Snapshot() }
+
+// ApplyUpdate applies a single edge update and restores the approximation.
+func (t *Tracker) ApplyUpdate(u Update) BatchResult {
+	return t.ApplyBatch(Batch{u})
+}
+
+// ApplyBatch applies a batch of edge updates and restores the approximation
+// guarantee before returning.
+func (t *Tracker) ApplyBatch(b Batch) BatchResult {
+	start := time.Now()
+	pushesBefore := t.st.Counters.Snapshot().Pushes
+	applied := 0
+	switch t.opts.Mode {
+	case SingleUpdateMode:
+		for _, u := range b {
+			if t.applyOne(u) {
+				applied++
+				t.engine.Run(t.st, []graph.VertexID{u.U})
+			}
+		}
+	default:
+		touched := make([]graph.VertexID, 0, len(b))
+		for _, u := range b {
+			if t.applyOne(u) {
+				applied++
+				touched = append(touched, u.U)
+			}
+		}
+		t.engine.Run(t.st, touched)
+	}
+	return BatchResult{
+		Applied: applied,
+		Skipped: len(b) - applied,
+		Latency: time.Since(start),
+		Pushes:  t.st.Counters.Snapshot().Pushes - pushesBefore,
+	}
+}
+
+func (t *Tracker) applyOne(u Update) bool {
+	switch u.Op {
+	case Insert:
+		changed, err := t.st.ApplyInsert(u.U, u.V)
+		return err == nil && changed
+	case Delete:
+		changed, err := t.st.ApplyDelete(u.U, u.V)
+		return err == nil && changed
+	default:
+		return false
+	}
+}
+
+// VertexScore pairs a vertex with its PPR estimate.
+type VertexScore struct {
+	Vertex VertexID
+	Score  float64
+}
+
+// TopK returns the k vertices with the largest PPR estimates, descending
+// (ties broken by ascending vertex id). The source itself is included.
+func (t *Tracker) TopK(k int) []VertexScore {
+	est := t.st.Estimates()
+	if k > len(est) {
+		k = len(est)
+	}
+	if k <= 0 {
+		return nil
+	}
+	scores := make([]VertexScore, len(est))
+	for v, s := range est {
+		scores[v] = VertexScore{Vertex: VertexID(v), Score: s}
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].Score != scores[j].Score {
+			return scores[i].Score > scores[j].Score
+		}
+		return scores[i].Vertex < scores[j].Vertex
+	})
+	return scores[:k]
+}
+
+// ExactError computes the exact contribution PPR vector of the current graph
+// by dense fixed-point iteration and returns the tracker's maximum absolute
+// estimation error. It is expensive (O(iterations × edges)) and intended for
+// validation and experiments, not for the hot path.
+func (t *Tracker) ExactError() (float64, error) {
+	oracle, err := power.ReverseGraph(t.st.Graph(), t.st.Source(), power.Options{
+		Alpha:         t.opts.Alpha,
+		Tolerance:     1e-13,
+		MaxIterations: 20_000,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return power.MaxAbsDiff(t.st.Estimates(), oracle), nil
+}

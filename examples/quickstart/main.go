@@ -1,0 +1,65 @@
+// Quickstart: build a small graph, track PPR towards one vertex, apply a
+// batch of edge insertions and deletions, and read the updated ranking.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynppr"
+)
+
+func main() {
+	// A toy citation-style graph: vertex 0 is a survey everyone cites.
+	g := dynppr.NewGraph(0)
+	for _, e := range []dynppr.Edge{
+		{U: 1, V: 0}, {U: 2, V: 0}, {U: 3, V: 0},
+		{U: 2, V: 1}, {U: 3, V: 2}, {U: 4, V: 3},
+	} {
+		if _, err := g.AddEdge(e.U, e.V); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Track the PPR contribution towards vertex 0: Estimate(v) is the
+	// probability a random reader starting at v ends up at 0.
+	opts := dynppr.DefaultOptions()
+	opts.Epsilon = 1e-8
+	tracker, err := dynppr.NewTracker(g, 0, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("before the update batch:")
+	printRanking(tracker)
+
+	// A batch arrives: vertex 5 joins and cites 0 and 3; the edge 3 -> 0 is
+	// retracted.
+	result := tracker.ApplyBatch(dynppr.Batch{
+		{U: 5, V: 0, Op: dynppr.Insert},
+		{U: 5, V: 3, Op: dynppr.Insert},
+		{U: 3, V: 0, Op: dynppr.Delete},
+	})
+	fmt.Printf("\napplied %d updates in %v (%d push operations)\n\n",
+		result.Applied, result.Latency, result.Pushes)
+
+	fmt.Println("after the update batch:")
+	printRanking(tracker)
+
+	// The guarantee: every estimate is within epsilon of the exact value.
+	maxErr, err := tracker.ExactError()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nworst-case estimation error: %.2g (epsilon = %.0e)\n", maxErr, opts.Epsilon)
+}
+
+func printRanking(tracker *dynppr.Tracker) {
+	for _, vs := range tracker.TopK(6) {
+		fmt.Printf("  vertex %d: %.4f\n", vs.Vertex, vs.Score)
+	}
+}

@@ -1,0 +1,88 @@
+// Social recommendations ("who to follow"): maintain PPR towards an account
+// of interest on an evolving follower graph and surface the accounts whose
+// audiences are most likely to discover it, keeping the ranking fresh as
+// follow/unfollow events stream in.
+//
+// This mirrors the user-recommendation motivation of the paper's
+// introduction: PPR towards account T ranks accounts v by how likely a random
+// browse starting from v reaches T — exactly the signal "people who follow v
+// also end up at T".
+//
+// Run with:
+//
+//	go run ./examples/socialrecs
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dynppr"
+)
+
+func main() {
+	// Generate a power-law follower graph standing in for a social network.
+	edges, err := dynppr.GenerateEdges(dynppr.SyntheticConfig{
+		Name: "social", Model: dynppr.ModelBarabasiAlbert,
+		Vertices: 3000, Edges: 40000, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := dynppr.GraphFromEdges(edges)
+
+	// The account we want to grow: the best-connected vertex.
+	target := g.TopDegreeVertices(1)[0]
+
+	opts := dynppr.DefaultOptions()
+	opts.Epsilon = 1e-7
+	tracker, err := dynppr.NewTracker(g, target, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tracking account %d on a graph with %d accounts and %d follows\n\n",
+		target, g.NumVertices(), g.NumEdges())
+
+	fmt.Println("initial influencer ranking (accounts whose audience reaches the target):")
+	printTop(tracker, target)
+
+	// Simulate 10 rounds of follow/unfollow churn and keep the ranking fresh.
+	rng := rand.New(rand.NewSource(7))
+	for round := 1; round <= 10; round++ {
+		batch := make(dynppr.Batch, 0, 200)
+		// New follows: random accounts start following popular ones.
+		popular := g.TopDegreeVertices(50)
+		for i := 0; i < 150; i++ {
+			u := dynppr.VertexID(rng.Intn(g.NumVertices()))
+			v := popular[rng.Intn(len(popular))]
+			batch = append(batch, dynppr.Update{U: u, V: v, Op: dynppr.Insert})
+		}
+		// Unfollows: drop a few existing edges.
+		existing := g.Edges()
+		for i := 0; i < 50 && len(existing) > 0; i++ {
+			e := existing[rng.Intn(len(existing))]
+			batch = append(batch, dynppr.Update{U: e.U, V: e.V, Op: dynppr.Delete})
+		}
+		res := tracker.ApplyBatch(batch)
+		fmt.Printf("round %2d: %3d effective updates, refreshed in %v\n",
+			round, res.Applied, res.Latency)
+	}
+
+	fmt.Println("\nranking after ten rounds of churn:")
+	printTop(tracker, target)
+}
+
+func printTop(tracker *dynppr.Tracker, target dynppr.VertexID) {
+	shown := 0
+	for _, vs := range tracker.TopK(12) {
+		if vs.Vertex == target {
+			continue // skip the account itself
+		}
+		fmt.Printf("  account %-6d reach-score %.5f\n", vs.Vertex, vs.Score)
+		shown++
+		if shown == 8 {
+			break
+		}
+	}
+}

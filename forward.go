@@ -1,0 +1,119 @@
+package dynppr
+
+import (
+	"sort"
+	"time"
+
+	"dynppr/internal/fwd"
+	"dynppr/internal/graph"
+)
+
+// ForwardTracker maintains the forward personalized PageRank vector π_s over
+// a dynamic graph: Estimate(v) approximates the probability that a random
+// walk started at the source — terminating with probability Alpha at each
+// step — stops at v. This is the dual of the contribution vector the Tracker
+// maintains, and the quantity classical "forward push" algorithms compute on
+// static graphs.
+//
+// Restoring the forward invariant after an edge update (u, v) touches every
+// out-neighbor of u, so per-update maintenance costs O(dout(u)) instead of
+// the O(1) of the reverse formulation; prefer Tracker unless the application
+// specifically needs π_s. Only Alpha and Epsilon of the Options are used (the
+// forward engine is sequential).
+//
+// Dangling convention: a walk reaching a vertex with no out-edges terminates
+// without attributing its remaining probability anywhere, so estimates sum to
+// less than one on graphs with dangling vertices.
+type ForwardTracker struct {
+	st   *fwd.State
+	opts Options
+}
+
+// NewForwardTracker builds a forward tracker for the given source over g and
+// brings it to convergence on the current graph.
+func NewForwardTracker(g *Graph, source VertexID, opts Options) (*ForwardTracker, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := fwd.NewState(g, source, fwd.Config{Alpha: opts.Alpha, Epsilon: opts.Epsilon})
+	if err != nil {
+		return nil, err
+	}
+	st.Push([]graph.VertexID{source})
+	return &ForwardTracker{st: st, opts: opts}, nil
+}
+
+// Source returns the tracked source vertex.
+func (t *ForwardTracker) Source() VertexID { return t.st.Source() }
+
+// Graph returns the tracked graph.
+func (t *ForwardTracker) Graph() *Graph { return t.st.Graph() }
+
+// Estimate returns the current estimate of π_s(v).
+func (t *ForwardTracker) Estimate(v VertexID) float64 { return t.st.Estimate(v) }
+
+// Residual returns the current residual of v.
+func (t *ForwardTracker) Residual(v VertexID) float64 { return t.st.Residual(v) }
+
+// Estimates returns a copy of the full estimate vector.
+func (t *ForwardTracker) Estimates() []float64 { return t.st.Estimates() }
+
+// Converged reports whether every residual is within Epsilon.
+func (t *ForwardTracker) Converged() bool { return t.st.Converged() }
+
+// Counters returns a snapshot of the work counters accumulated so far.
+func (t *ForwardTracker) Counters() Counters { return t.st.Counters.Snapshot() }
+
+// ApplyBatch applies a batch of edge updates and restores convergence.
+func (t *ForwardTracker) ApplyBatch(b Batch) BatchResult {
+	start := time.Now()
+	before := t.st.Counters.Snapshot().Pushes
+	applied := 0
+	var touched []graph.VertexID
+	for _, u := range b {
+		switch u.Op {
+		case Insert:
+			ts, changed, err := t.st.ApplyInsert(u.U, u.V)
+			if err == nil && changed {
+				applied++
+				touched = append(touched, ts...)
+			}
+		case Delete:
+			ts, changed, err := t.st.ApplyDelete(u.U, u.V)
+			if err == nil && changed {
+				applied++
+				touched = append(touched, ts...)
+			}
+		}
+	}
+	t.st.Push(touched)
+	return BatchResult{
+		Applied: applied,
+		Skipped: len(b) - applied,
+		Latency: time.Since(start),
+		Pushes:  t.st.Counters.Snapshot().Pushes - before,
+	}
+}
+
+// TopK returns the k vertices the source's random walks most often stop at,
+// in descending order of estimate.
+func (t *ForwardTracker) TopK(k int) []VertexScore {
+	est := t.st.Estimates()
+	if k > len(est) {
+		k = len(est)
+	}
+	if k <= 0 {
+		return nil
+	}
+	scores := make([]VertexScore, len(est))
+	for v, s := range est {
+		scores[v] = VertexScore{Vertex: VertexID(v), Score: s}
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].Score != scores[j].Score {
+			return scores[i].Score > scores[j].Score
+		}
+		return scores[i].Vertex < scores[j].Vertex
+	})
+	return scores[:k]
+}

@@ -1,0 +1,141 @@
+package dynppr_test
+
+import (
+	"math"
+	"testing"
+
+	"dynppr"
+)
+
+// cycleGraph builds a directed cycle over n vertices (no dangling vertices).
+func cycleGraph(n int) *dynppr.Graph {
+	g := dynppr.NewGraph(n)
+	for i := 0; i < n; i++ {
+		if _, err := g.AddEdge(dynppr.VertexID(i), dynppr.VertexID((i+1)%n)); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func TestForwardTrackerErrors(t *testing.T) {
+	bad := dynppr.DefaultOptions()
+	bad.Epsilon = 0
+	if _, err := dynppr.NewForwardTracker(cycleGraph(4), 0, bad); err == nil {
+		t.Fatal("invalid options must fail")
+	}
+	if _, err := dynppr.NewForwardTracker(cycleGraph(4), -1, dynppr.DefaultOptions()); err == nil {
+		t.Fatal("negative source must fail")
+	}
+}
+
+func TestForwardTrackerBasics(t *testing.T) {
+	g := cycleGraph(6)
+	opts := dynppr.DefaultOptions()
+	opts.Epsilon = 1e-9
+	tr, err := dynppr.NewForwardTracker(g, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Source() != 0 || tr.Graph() != g {
+		t.Fatal("accessors wrong")
+	}
+	if !tr.Converged() {
+		t.Fatal("must converge at construction")
+	}
+	if tr.Counters().Pushes == 0 {
+		t.Fatal("cold start should push")
+	}
+	// On a cycle, forward PPR decays geometrically with distance from the
+	// source along edge direction.
+	prev := math.Inf(1)
+	for v := 0; v < 6; v++ {
+		e := tr.Estimate(dynppr.VertexID(v))
+		if e <= 0 || e >= prev {
+			t.Fatalf("estimates must decay along the cycle: P[%d]=%v prev=%v", v, e, prev)
+		}
+		prev = e
+	}
+	// The source holds the most mass.
+	if top := tr.TopK(1); top[0].Vertex != 0 {
+		t.Fatalf("top vertex = %d, want the source", top[0].Vertex)
+	}
+	if tr.TopK(0) != nil || len(tr.TopK(100)) != 6 {
+		t.Fatal("TopK bounds wrong")
+	}
+	if len(tr.Estimates()) != 6 || tr.Residual(0) > opts.Epsilon {
+		t.Fatal("Estimates/Residual wrong")
+	}
+}
+
+// Forward and reverse trackers are duals: the forward estimate of target v
+// from source s equals the reverse (contribution) estimate of s towards v,
+// within the combined approximation error.
+func TestForwardReverseTrackersAgree(t *testing.T) {
+	edges, err := dynppr.GenerateEdges(dynppr.SyntheticConfig{
+		Model: dynppr.ModelErdosRenyi, Vertices: 60, Edges: 900, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ensure no dangling vertices: add a cycle over all 60.
+	g := dynppr.GraphFromEdges(edges)
+	for i := 0; i < 60; i++ {
+		_, _ = g.AddEdge(dynppr.VertexID(i), dynppr.VertexID((i+1)%60))
+	}
+	opts := dynppr.DefaultOptions()
+	opts.Epsilon = 1e-7
+
+	const source, target = 3, 40
+	fwdTr, err := dynppr.NewForwardTracker(g.Clone(), source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revTr, err := dynppr.NewTracker(g.Clone(), target, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fwdTr.Estimate(target)
+	want := revTr.Estimate(source)
+	// Forward error is contribution-weighted (≤ ε·n in the worst case).
+	if d := math.Abs(got - want); d > 1e-4 {
+		t.Fatalf("duality violated: forward %v vs reverse %v (diff %v)", got, want, d)
+	}
+}
+
+func TestForwardTrackerApplyBatch(t *testing.T) {
+	g := cycleGraph(8)
+	opts := dynppr.DefaultOptions()
+	opts.Epsilon = 1e-8
+	tr, err := dynppr.NewForwardTracker(g, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.Estimate(4)
+	// A shortcut 0 -> 4 raises the probability that a walk from 0 ever
+	// reaches 4 before terminating, so its estimate must rise.
+	res := tr.ApplyBatch(dynppr.Batch{
+		{U: 0, V: 4, Op: dynppr.Insert},
+		{U: 0, V: 4, Op: dynppr.Insert}, // duplicate skipped
+		{U: 1, V: 9, Op: dynppr.Delete}, // missing, skipped
+	})
+	if res.Applied != 1 || res.Skipped != 2 || res.Latency <= 0 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if !tr.Converged() {
+		t.Fatal("not converged after batch")
+	}
+	if after := tr.Estimate(4); after <= before {
+		t.Fatalf("estimate of 4 should rise after shortcut: %v -> %v", before, after)
+	}
+	// Now cut 6 -> 7: vertex 7 loses its only incoming edge, so walks from 0
+	// can no longer reach it and its estimate must collapse.
+	before7 := tr.Estimate(7)
+	res = tr.ApplyBatch(dynppr.Batch{{U: 6, V: 7, Op: dynppr.Delete}})
+	if res.Applied != 1 || !tr.Converged() {
+		t.Fatalf("delete batch failed: %+v", res)
+	}
+	if after7 := tr.Estimate(7); after7 >= before7 || after7 > 0.05 {
+		t.Fatalf("estimate of cut-off vertex should collapse: %v -> %v", before7, after7)
+	}
+}

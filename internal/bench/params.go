@@ -1,0 +1,113 @@
+// Package bench is the experiment harness: it rebuilds every figure of the
+// paper's evaluation (Section 5) on the synthetic dataset catalog, using the
+// public Tracker API and the internal baselines. Each experiment has a Run
+// function returning structured rows and a Print helper that emits the same
+// table the paper plots.
+package bench
+
+import (
+	"fmt"
+
+	"dynppr/internal/gen"
+)
+
+// Params collects the experiment parameters of Table 2, scaled to the
+// synthetic catalog. All randomness is derived from Seed.
+type Params struct {
+	// Alpha is the teleport probability (paper: 0.15).
+	Alpha float64
+	// Epsilon is the default error threshold used where the experiment does
+	// not sweep it.
+	Epsilon float64
+	// EpsilonGrid is the sweep for the ε experiment (Figure 6).
+	EpsilonGrid []float64
+	// BatchRatios are the batch sizes as fractions of the sliding window
+	// (Figure 8; paper: 1%, 0.1%, 0.01%).
+	BatchRatios []float64
+	// DefaultBatchRatio is the ratio used where the experiment does not sweep
+	// the batch size.
+	DefaultBatchRatio float64
+	// SourceBuckets are the "top-k out-degree" bucket sizes for the source
+	// selection experiment (Figure 7; paper: 10, 1K, 1M — scaled down here).
+	SourceBuckets []int
+	// Slides is the number of window slides measured per configuration.
+	Slides int
+	// InitialWindowFraction is the share of the stream used to build the
+	// initial window (paper: 10%).
+	InitialWindowFraction float64
+	// Workers is the degree of parallelism of the parallel approaches; <= 0
+	// selects GOMAXPROCS.
+	Workers int
+	// WorkerGrid is the sweep for the scalability experiment (Figure 10).
+	WorkerGrid []int
+	// WalksPerVertex is the Monte-Carlo walk count divided by |V| (paper: 6).
+	WalksPerVertex int
+	// Seed drives dataset generation, stream order and source sampling.
+	Seed int64
+}
+
+// DefaultParams mirrors the paper's defaults at the catalog scale.
+func DefaultParams() Params {
+	return Params{
+		Alpha:                 0.15,
+		Epsilon:               1e-7,
+		EpsilonGrid:           []float64{1e-4, 1e-5, 1e-6, 1e-7, 1e-8},
+		BatchRatios:           []float64{0.01, 0.001, 0.0001},
+		DefaultBatchRatio:     0.001,
+		SourceBuckets:         []int{10, 100, 1000},
+		Slides:                20,
+		InitialWindowFraction: 0.10,
+		Workers:               0,
+		WorkerGrid:            []int{1, 2, 4, 8},
+		WalksPerVertex:        6,
+		Seed:                  1,
+	}
+}
+
+// QuickParams returns a drastically reduced parameter set for tests and smoke
+// runs: fewer slides, coarser ε, fewer walks.
+func QuickParams() Params {
+	p := DefaultParams()
+	p.Epsilon = 1e-5
+	p.EpsilonGrid = []float64{1e-3, 1e-4, 1e-5}
+	p.BatchRatios = []float64{0.01, 0.001}
+	p.DefaultBatchRatio = 0.01
+	p.SourceBuckets = []int{5, 50}
+	p.Slides = 3
+	p.WorkerGrid = []int{1, 2}
+	p.WalksPerVertex = 2
+	return p
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		return fmt.Errorf("bench: alpha must be in (0,1), got %v", p.Alpha)
+	}
+	if p.Epsilon <= 0 {
+		return fmt.Errorf("bench: epsilon must be positive, got %v", p.Epsilon)
+	}
+	if p.Slides <= 0 {
+		return fmt.Errorf("bench: slides must be positive, got %d", p.Slides)
+	}
+	if p.InitialWindowFraction <= 0 || p.InitialWindowFraction >= 1 {
+		return fmt.Errorf("bench: initial window fraction must be in (0,1), got %v", p.InitialWindowFraction)
+	}
+	if p.DefaultBatchRatio <= 0 || p.DefaultBatchRatio > 1 {
+		return fmt.Errorf("bench: default batch ratio must be in (0,1], got %v", p.DefaultBatchRatio)
+	}
+	if p.WalksPerVertex <= 0 {
+		return fmt.Errorf("bench: walks per vertex must be positive, got %d", p.WalksPerVertex)
+	}
+	return nil
+}
+
+// QuickDatasets returns a tiny dataset list for tests.
+func QuickDatasets() []gen.Dataset {
+	return []gen.Dataset{
+		{Config: gen.Config{Name: "tiny-rmat", Model: gen.RMAT, Vertices: 300, Edges: 3000, Seed: 7},
+			PaperVertices: 0, PaperEdges: 0},
+		{Config: gen.Config{Name: "tiny-ba", Model: gen.BarabasiAlbert, Vertices: 300, Edges: 3000, Seed: 8},
+			PaperVertices: 0, PaperEdges: 0},
+	}
+}

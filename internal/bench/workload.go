@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dynppr/internal/gen"
+	"dynppr/internal/graph"
+	"dynppr/internal/metrics"
+	"dynppr/internal/montecarlo"
+	"dynppr/internal/push"
+	"dynppr/internal/stream"
+	"dynppr/internal/vc"
+)
+
+// Workload is a replayable sliding-window experiment input for one dataset:
+// the edge stream, the initial window, and the source vertex.
+type Workload struct {
+	Dataset gen.Dataset
+	Edges   []graph.Edge
+	Stream  *stream.Stream
+	// InitialEdges is the content of the initial window (the first
+	// InitialWindowFraction of the stream).
+	InitialEdges []graph.Edge
+	// Source is the tracked source vertex, chosen from the highest-degree
+	// vertices of the initial graph unless overridden.
+	Source graph.VertexID
+	// WindowSize is the number of edges inside the window.
+	WindowSize int
+
+	params Params
+}
+
+// BuildWorkload generates the dataset, orders it into a stream, and fixes the
+// source vertex.
+func BuildWorkload(d gen.Dataset, p Params) (*Workload, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	edges, err := gen.EdgeList(d.Config)
+	if err != nil {
+		return nil, err
+	}
+	s := stream.NewStream(edges, p.Seed)
+	window, initial := stream.NewSlidingWindow(s, p.InitialWindowFraction)
+	g := graph.FromEdges(initial)
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("bench: dataset %s produced an empty initial window", d.Name)
+	}
+	source := g.TopDegreeVertices(1)[0]
+	return &Workload{
+		Dataset:      d,
+		Edges:        edges,
+		Stream:       s,
+		InitialEdges: initial,
+		Source:       source,
+		WindowSize:   window.Size(),
+		params:       p,
+	}, nil
+}
+
+// NewRun returns a fresh sliding window and the matching initial graph so
+// that each measured configuration replays exactly the same update sequence.
+func (w *Workload) NewRun() (*stream.SlidingWindow, *graph.Graph) {
+	window, initial := stream.NewSlidingWindow(w.Stream, w.params.InitialWindowFraction)
+	return window, graph.FromEdges(initial)
+}
+
+// BatchSize converts a batch ratio into an edge count (at least 1).
+func (w *Workload) BatchSize(ratio float64) int {
+	k := int(float64(w.WindowSize) * ratio)
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Approach identifies one of the compared systems (Figure 5 legend).
+type Approach string
+
+// The approaches of the evaluation. GPU is not reproduced on this substrate;
+// see DESIGN.md for the substitution note.
+const (
+	// ApproachBase is the sequential push applied per single update (the
+	// prior state of the art, CPU-Base).
+	ApproachBase Approach = "CPU-Base"
+	// ApproachSeq is the sequential push with batch updates (CPU-Seq).
+	ApproachSeq Approach = "CPU-Seq"
+	// ApproachMT is the optimized parallel push with batch updates (CPU-MT).
+	ApproachMT Approach = "CPU-MT"
+	// ApproachMonteCarlo is the incremental Monte-Carlo baseline.
+	ApproachMonteCarlo Approach = "Monte-Carlo"
+	// ApproachLigra is the vertex-centric (Ligra-style) implementation.
+	ApproachLigra Approach = "Ligra"
+)
+
+// AllApproaches lists the approaches in the order the paper's legends use.
+func AllApproaches() []Approach {
+	return []Approach{ApproachBase, ApproachSeq, ApproachMT, ApproachMonteCarlo, ApproachLigra}
+}
+
+// runResult aggregates one measured configuration.
+type runResult struct {
+	Latency  metrics.LatencyStats
+	Counters metrics.Counters
+	// UpdatesApplied counts effective edge updates (inserts + deletes) fed to
+	// the approach across all measured slides.
+	UpdatesApplied int64
+}
+
+// MeanLatency returns the mean per-slide latency.
+func (r *runResult) MeanLatency() time.Duration { return r.Latency.Mean() }
+
+// Throughput returns effective updates per second.
+func (r *runResult) Throughput() float64 { return r.Latency.Throughput(r.UpdatesApplied) }
+
+// pushEngineFor builds the push engine of a push-based approach.
+func pushEngineFor(a Approach, variant push.Variant, workers int) (push.Engine, error) {
+	switch a {
+	case ApproachBase, ApproachSeq:
+		return push.NewSequential(), nil
+	case ApproachMT:
+		return push.NewParallel(variant, workers), nil
+	case ApproachLigra:
+		return vc.NewPPREngine(workers), nil
+	default:
+		return nil, fmt.Errorf("bench: %s is not a push-based approach", a)
+	}
+}
+
+// runPush replays the sliding window against a push-based approach and
+// reports per-slide latency and work counters. Base mode pushes after every
+// single update; the other approaches push once per batch.
+func (w *Workload) runPush(a Approach, variant push.Variant, workers int,
+	epsilon float64, batchSize, slides int, source graph.VertexID) (*runResult, error) {
+	engine, err := pushEngineFor(a, variant, workers)
+	if err != nil {
+		return nil, err
+	}
+	window, g := w.NewRun()
+	st, err := push.NewState(g, source, push.Config{Alpha: w.params.Alpha, Epsilon: epsilon})
+	if err != nil {
+		return nil, err
+	}
+	engine.Run(st, []graph.VertexID{source})
+	st.Counters.Reset()
+
+	res := &runResult{}
+	for i := 0; i < slides; i++ {
+		batch := window.Slide(batchSize)
+		if len(batch) == 0 {
+			break
+		}
+		start := time.Now()
+		if a == ApproachBase {
+			for _, u := range batch {
+				if applyPushUpdate(st, u) {
+					res.UpdatesApplied++
+					engine.Run(st, []graph.VertexID{u.U})
+				}
+			}
+		} else {
+			touched := make([]graph.VertexID, 0, len(batch))
+			for _, u := range batch {
+				if applyPushUpdate(st, u) {
+					res.UpdatesApplied++
+					touched = append(touched, u.U)
+				}
+			}
+			engine.Run(st, touched)
+		}
+		res.Latency.Observe(time.Since(start))
+	}
+	res.Counters = st.Counters.Snapshot()
+	return res, nil
+}
+
+func applyPushUpdate(st *push.State, u stream.Update) bool {
+	switch u.Op {
+	case stream.Insert:
+		changed, err := st.ApplyInsert(u.U, u.V)
+		return err == nil && changed
+	case stream.Delete:
+		changed, err := st.ApplyDelete(u.U, u.V)
+		return err == nil && changed
+	default:
+		return false
+	}
+}
+
+// runMonteCarlo replays the sliding window against the incremental
+// Monte-Carlo estimator.
+func (w *Workload) runMonteCarlo(workers, batchSize, slides int, source graph.VertexID) (*runResult, error) {
+	window, g := w.NewRun()
+	walks := w.params.WalksPerVertex * g.NumVertices()
+	if walks < 1 {
+		walks = 1
+	}
+	est, err := montecarlo.New(g, source, montecarlo.Config{
+		Alpha:   w.params.Alpha,
+		Walks:   walks,
+		Seed:    w.params.Seed,
+		Workers: workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &runResult{}
+	for i := 0; i < slides; i++ {
+		batch := window.Slide(batchSize)
+		if len(batch) == 0 {
+			break
+		}
+		start := time.Now()
+		for _, u := range batch {
+			switch u.Op {
+			case stream.Insert:
+				if n, err := est.ApplyInsert(u.U, u.V); err == nil && n >= 0 {
+					res.UpdatesApplied++
+				}
+			case stream.Delete:
+				if _, err := est.ApplyDelete(u.U, u.V); err == nil {
+					res.UpdatesApplied++
+				}
+			}
+		}
+		res.Latency.Observe(time.Since(start))
+	}
+	return res, nil
+}
+
+// runApproach dispatches to the push or Monte-Carlo runner.
+func (w *Workload) runApproach(a Approach, epsilon float64, batchSize, slides, workers int, source graph.VertexID) (*runResult, error) {
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if a == ApproachMonteCarlo {
+		return w.runMonteCarlo(workers, batchSize, slides, source)
+	}
+	return w.runPush(a, push.VariantOpt, workers, epsilon, batchSize, slides, source)
+}

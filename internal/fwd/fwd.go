@@ -1,0 +1,281 @@
+// Package fwd maintains the forward (source-personalized) PageRank vector
+// π_s over a dynamic graph with the same estimate/residual local-update
+// machinery the paper applies to the contribution (reverse) vector.
+//
+// Forward PPR answers "where does a walk from s end up": Estimate(v)
+// approximates π_s(v), the probability that an α-terminating walk started at
+// the source stops at v. It is the quantity the incremental Monte-Carlo
+// baseline estimates, and the formulation used by forward-push algorithms on
+// static graphs.
+//
+// The locally-checkable invariant maintained for every vertex v is the
+// forward counterpart of the paper's Equation 2:
+//
+//	P(v) + α·R(v) = α·1{v=s} + (1−α) · Σ_{u ∈ Nin(v)} P(u)/dout(u)
+//
+// A push at u moves α·R(u) into P(u) and propagates (1−α)·R(u)/dout(u) to
+// every out-neighbor of u. Unlike the reverse case, a directed edge update
+// (u, v) perturbs the invariant of v and of every existing out-neighbor of u
+// (their shares of P(u) change with dout(u)), so invariant restoration costs
+// O(dout(u)) per update rather than O(1); this asymmetry is why the paper
+// (and the dynamic scheme it builds on) focuses on the reverse vector for
+// directed graphs. The package exists for applications that need π_s itself
+// and accept that restoration cost.
+//
+// Error guarantee: the scheme keeps π_s(v) = P(v) + Σ_u R(u)·π_u(v) as an
+// exact identity, so once every |R(u)| ≤ ε the estimation error at v is
+// bounded by ε · Σ_u π_u(v) — ε times the total contribution received by v.
+// Tests verify this bound against the dense oracle.
+//
+// Dangling convention: a walk that reaches a vertex with no out-edges
+// terminates there and its remaining (1−α) probability share is not
+// attributed to any vertex, so on graphs with dangling vertices the estimates
+// sum to less than one. On graphs where every vertex has at least one
+// out-edge this coincides with the absorbing convention of the dense oracle.
+package fwd
+
+import (
+	"fmt"
+
+	"dynppr/internal/fp"
+	"dynppr/internal/graph"
+	"dynppr/internal/metrics"
+	"dynppr/internal/push"
+)
+
+// Config mirrors push.Config: the teleport probability and the residual
+// threshold.
+type Config = push.Config
+
+// DefaultConfig returns α = 0.15, ε = 1e-6.
+func DefaultConfig() Config { return push.DefaultConfig() }
+
+// State is the forward estimate/residual pair for one source vertex.
+type State struct {
+	g      *graph.Graph
+	source graph.VertexID
+	cfg    Config
+
+	p *fp.Float64Vector
+	r *fp.Float64Vector
+
+	// Counters accumulates the work performed on this state. Never nil.
+	Counters *metrics.Counters
+}
+
+// NewState creates the forward state: all mass starts as residual at the
+// source.
+func NewState(g *graph.Graph, source graph.VertexID, cfg Config) (*State, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if source < 0 {
+		return nil, fmt.Errorf("fwd: source must be non-negative, got %d", source)
+	}
+	g.EnsureVertex(source)
+	n := g.NumVertices()
+	st := &State{
+		g:        g,
+		source:   source,
+		cfg:      cfg,
+		p:        fp.NewFloat64Vector(n),
+		r:        fp.NewFloat64Vector(n),
+		Counters: &metrics.Counters{},
+	}
+	st.r.Set(int(source), 1)
+	return st, nil
+}
+
+// Graph returns the tracked graph.
+func (st *State) Graph() *graph.Graph { return st.g }
+
+// Source returns the source vertex.
+func (st *State) Source() graph.VertexID { return st.source }
+
+// Alpha returns the teleport probability.
+func (st *State) Alpha() float64 { return st.cfg.Alpha }
+
+// Epsilon returns the residual threshold.
+func (st *State) Epsilon() float64 { return st.cfg.Epsilon }
+
+// Estimate returns the current estimate of π_s(v).
+func (st *State) Estimate(v graph.VertexID) float64 {
+	if int(v) >= st.p.Len() || v < 0 {
+		return 0
+	}
+	return st.p.Get(int(v))
+}
+
+// Residual returns the current residual of v.
+func (st *State) Residual(v graph.VertexID) float64 {
+	if int(v) >= st.r.Len() || v < 0 {
+		return 0
+	}
+	return st.r.Get(int(v))
+}
+
+// Estimates returns a copy of the estimate vector.
+func (st *State) Estimates() []float64 { return st.p.Snapshot() }
+
+// Converged reports whether every residual is within ε.
+func (st *State) Converged() bool { return st.r.MaxAbs() <= st.cfg.Epsilon }
+
+func (st *State) sync() {
+	n := st.g.NumVertices()
+	if n > st.p.Len() {
+		st.p.Resize(n)
+		st.r.Resize(n)
+	}
+}
+
+// ApplyInsert adds edge u->v, restores the forward invariant, and returns the
+// vertices whose residuals changed (the push candidates). A duplicate edge
+// returns (nil, false, nil).
+func (st *State) ApplyInsert(u, v graph.VertexID) (touched []graph.VertexID, changed bool, err error) {
+	oldDeg := st.g.OutDegree(u)
+	added, err := st.g.AddEdge(u, v)
+	if err != nil || !added {
+		return nil, false, err
+	}
+	st.sync()
+	st.Counters.AddRestoreOps(1)
+	alpha := st.cfg.Alpha
+	pu := st.p.Get(int(u))
+	newDeg := float64(oldDeg + 1)
+	// Existing out-neighbors of u lose part of their share of P(u).
+	if pu != 0 && oldDeg > 0 {
+		delta := (1 - alpha) * pu * (1/newDeg - 1/float64(oldDeg)) / alpha
+		for _, w := range st.g.OutNeighbors(u) {
+			if w == v {
+				continue
+			}
+			st.r.Set(int(w), st.r.Get(int(w))+delta)
+			touched = append(touched, w)
+		}
+	}
+	// The new neighbor v gains a share of P(u).
+	st.r.Set(int(v), st.r.Get(int(v))+(1-alpha)*pu/(newDeg*alpha))
+	touched = append(touched, v)
+	return touched, true, nil
+}
+
+// ApplyDelete removes edge u->v, restores the forward invariant, and returns
+// the touched vertices. A missing edge returns (nil, false, nil).
+func (st *State) ApplyDelete(u, v graph.VertexID) (touched []graph.VertexID, changed bool, err error) {
+	oldDeg := st.g.OutDegree(u)
+	if err := st.g.RemoveEdge(u, v); err != nil {
+		return nil, false, nil //nolint:nilerr // missing edge is a skipped update
+	}
+	st.sync()
+	st.Counters.AddRestoreOps(1)
+	alpha := st.cfg.Alpha
+	pu := st.p.Get(int(u))
+	newDeg := oldDeg - 1
+	// v loses its share of P(u).
+	st.r.Set(int(v), st.r.Get(int(v))-(1-alpha)*pu/(float64(oldDeg)*alpha))
+	touched = append(touched, v)
+	// Remaining out-neighbors of u gain a larger share of P(u).
+	if pu != 0 && newDeg > 0 {
+		delta := (1 - alpha) * pu * (1/float64(newDeg) - 1/float64(oldDeg)) / alpha
+		for _, w := range st.g.OutNeighbors(u) {
+			st.r.Set(int(w), st.r.Get(int(w))+delta)
+			touched = append(touched, w)
+		}
+	}
+	return touched, true, nil
+}
+
+// InvariantError returns the maximum absolute violation of the forward
+// invariant over all vertices.
+func (st *State) InvariantError() float64 {
+	alpha := st.cfg.Alpha
+	n := st.g.NumVertices()
+	var worst float64
+	for v := 0; v < n; v++ {
+		rhs := 0.0
+		if graph.VertexID(v) == st.source {
+			rhs = alpha
+		}
+		for _, u := range st.g.InNeighbors(graph.VertexID(v)) {
+			rhs += (1 - alpha) * st.p.Get(int(u)) / float64(st.g.OutDegree(u))
+		}
+		diff := st.p.Get(v) + alpha*st.r.Get(v) - rhs
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > worst {
+			worst = diff
+		}
+	}
+	return worst
+}
+
+// Push drains every residual exceeding ε, sequentially, pushing to
+// out-neighbors. candidates follows the same contract as push.Engine.Run.
+func (st *State) Push(candidates []graph.VertexID) {
+	st.pushPhase(candidates, true)
+	st.pushPhase(candidates, false)
+}
+
+func (st *State) pushPhase(candidates []graph.VertexID, positive bool) {
+	eps := st.cfg.Epsilon
+	alpha := st.cfg.Alpha
+	cond := func(r float64) bool {
+		if positive {
+			return r > eps
+		}
+		return r < -eps
+	}
+	var queue []int32
+	inQueue := make([]bool, st.r.Len())
+	enqueue := func(v int32) {
+		if !inQueue[v] {
+			inQueue[v] = true
+			queue = append(queue, v)
+		}
+	}
+	if candidates == nil {
+		for v := 0; v < st.r.Len(); v++ {
+			if cond(st.r.Get(v)) {
+				enqueue(int32(v))
+			}
+		}
+	} else {
+		for _, v := range candidates {
+			if int(v) < st.r.Len() && v >= 0 && cond(st.r.Get(int(v))) {
+				enqueue(int32(v))
+			}
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		ru := st.r.Get(int(u))
+		if !cond(ru) {
+			continue
+		}
+		st.Counters.AddPushes(1)
+		st.Counters.ObserveIteration(1)
+		st.p.Set(int(u), st.p.Get(int(u))+alpha*ru)
+		st.r.Set(int(u), 0)
+		out := st.g.OutNeighbors(graph.VertexID(u))
+		if len(out) == 0 {
+			// Dangling vertex: the walk dies here. The (1−α) share of the
+			// residual is dropped, which is exactly what the invariant
+			// prescribes (see the package comment on the dangling
+			// convention).
+			continue
+		}
+		st.Counters.AddPropagations(int64(len(out)))
+		share := (1 - alpha) * ru / float64(len(out))
+		for _, w := range out {
+			nr := st.r.Get(int(w)) + share
+			st.r.Set(int(w), nr)
+			if cond(nr) {
+				enqueue(int32(w))
+				st.Counters.AddEnqueues(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package fwd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynppr/internal/gen"
+	"dynppr/internal/graph"
+	"dynppr/internal/power"
+)
+
+// ringGraph builds a graph where every vertex has out-degree >= 1 (a ring
+// plus random chords), so the dangling conventions of this package and of the
+// dense oracle coincide.
+func ringGraph(n, extra int, seed int64) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		_, _ = g.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < extra; i++ {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u != v {
+			_, _ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestNewStateValidation(t *testing.T) {
+	g := ringGraph(5, 0, 1)
+	if _, err := NewState(g, 0, Config{Alpha: 0, Epsilon: 1}); err == nil {
+		t.Fatal("invalid config must fail")
+	}
+	if _, err := NewState(g, -1, DefaultConfig()); err == nil {
+		t.Fatal("negative source must fail")
+	}
+	st, err := NewState(g, 2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Source() != 2 || st.Graph() != g || st.Alpha() != 0.15 || st.Epsilon() != 1e-6 {
+		t.Fatal("accessors wrong")
+	}
+	if st.Residual(2) != 1 || st.Estimate(2) != 0 {
+		t.Fatal("cold start wrong")
+	}
+	if st.Estimate(99) != 0 || st.Residual(-1) != 0 {
+		t.Fatal("out-of-range lookups must be zero")
+	}
+	if st.Converged() {
+		t.Fatal("cold start must not be converged at default epsilon")
+	}
+	if e := st.InvariantError(); e > 1e-12 {
+		t.Fatalf("cold start invariant error %v", e)
+	}
+}
+
+// On dangling-free graphs the converged forward estimate must match the
+// forward oracle within the contribution-weighted bound (which is at most
+// ε·Σ_u π_u(v), itself bounded by ε·n but typically far smaller).
+func TestForwardColdStartMatchesOracle(t *testing.T) {
+	g := ringGraph(150, 1200, 3)
+	source := g.TopDegreeVertices(1)[0]
+	cfg := Config{Alpha: 0.15, Epsilon: 1e-6}
+	st, err := NewState(g, source, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Push([]graph.VertexID{source})
+	if !st.Converged() {
+		t.Fatal("not converged")
+	}
+	if e := st.InvariantError(); e > 1e-9 {
+		t.Fatalf("invariant error %v", e)
+	}
+	oracle, err := power.ForwardGraph(g, source, power.Options{Alpha: cfg.Alpha, Tolerance: 1e-13, MaxIterations: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkForwardError(t, st, g, oracle, cfg)
+}
+
+// checkForwardError asserts |P(v) − π_s(v)| ≤ ε · Σ_u π_u(v) + slack for
+// every vertex, computing the per-vertex contribution mass from the reverse
+// oracle.
+func checkForwardError(t *testing.T, st *State, g *graph.Graph, oracle []float64, cfg Config) {
+	t.Helper()
+	est := st.Estimates()
+	c := g.Snapshot()
+	for v := 0; v < len(oracle); v += 13 { // sample vertices to keep the test fast
+		rev, err := power.Reverse(c, graph.VertexID(v), power.Options{Alpha: cfg.Alpha, Tolerance: 1e-13, MaxIterations: 20000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var contribution float64
+		for _, x := range rev {
+			contribution += x
+		}
+		bound := cfg.Epsilon*contribution + 1e-12
+		if d := math.Abs(est[v] - oracle[v]); d > bound {
+			t.Fatalf("vertex %d: error %v exceeds bound %v", v, d, bound)
+		}
+	}
+}
+
+// Dynamic maintenance: inserts and deletes keep the invariant exact and the
+// estimates within the bound.
+func TestForwardDynamicMaintenance(t *testing.T) {
+	g := ringGraph(120, 800, 5)
+	source := g.TopDegreeVertices(1)[0]
+	cfg := Config{Alpha: 0.2, Epsilon: 1e-6}
+	st, err := NewState(g, source, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Push([]graph.VertexID{source})
+
+	extra, err := gen.EdgeList(gen.Config{Model: gen.ErdosRenyi, Vertices: 120, Edges: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var touched []graph.VertexID
+	for i, e := range extra {
+		if i%5 == 0 {
+			// Delete a random chord (never a ring edge, to keep the graph
+			// dangling-free).
+			edges := g.Edges()
+			del := edges[rng.Intn(len(edges))]
+			if del.V == (del.U+1)%graph.VertexID(120) {
+				continue
+			}
+			ts, changed, err := st.ApplyDelete(del.U, del.V)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if changed {
+				touched = append(touched, ts...)
+			}
+			continue
+		}
+		ts, changed, err := st.ApplyInsert(e.U, e.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed {
+			touched = append(touched, ts...)
+		}
+	}
+	if e := st.InvariantError(); e > 1e-9 {
+		t.Fatalf("invariant error %v after restores", e)
+	}
+	st.Push(touched)
+	if !st.Converged() {
+		t.Fatal("not converged")
+	}
+	if e := st.InvariantError(); e > 1e-9 {
+		t.Fatalf("invariant error %v after push", e)
+	}
+	oracle, err := power.ForwardGraph(g, source, power.Options{Alpha: cfg.Alpha, Tolerance: 1e-13, MaxIterations: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkForwardError(t, st, g, oracle, cfg)
+}
+
+func TestForwardApplySkipsNoops(t *testing.T) {
+	g := ringGraph(10, 0, 1)
+	st, err := NewState(g, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, changed, err := st.ApplyInsert(0, 1); err != nil || changed {
+		t.Fatal("duplicate insert must be skipped")
+	}
+	if _, changed, err := st.ApplyDelete(3, 7); err != nil || changed {
+		t.Fatal("missing delete must be skipped")
+	}
+	if _, changed, err := st.ApplyInsert(2, 7); err != nil || !changed {
+		t.Fatal("new insert must apply")
+	}
+	if e := st.InvariantError(); e > 1e-12 {
+		t.Fatalf("invariant error %v", e)
+	}
+}
+
+func TestForwardDeleteLastOutEdge(t *testing.T) {
+	// 0 -> 1 -> 2; delete 1 -> 2 making 1 dangling. The invariant must stay
+	// exact even though the convention drops 1's unpushable mass.
+	g := graph.FromEdges([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	st, err := NewState(g, 0, Config{Alpha: 0.5, Epsilon: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Push([]graph.VertexID{0})
+	touched, changed, err := st.ApplyDelete(1, 2)
+	if err != nil || !changed {
+		t.Fatal("delete must apply")
+	}
+	st.Push(touched)
+	if e := st.InvariantError(); e > 1e-9 {
+		t.Fatalf("invariant error %v", e)
+	}
+	if !st.Converged() {
+		t.Fatal("not converged")
+	}
+	// Vertex 2 is now unreachable, so its estimate should have dropped to
+	// (approximately) zero relative to before; at minimum it must not exceed
+	// its previous value.
+	if st.Estimate(2) > 0.25 {
+		t.Fatalf("estimate of unreachable vertex too high: %v", st.Estimate(2))
+	}
+}
+
+// Property: the forward invariant holds exactly after arbitrary random update
+// sequences, pushed or not.
+func TestForwardInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := ringGraph(30, 60, seed)
+		st, err := NewState(g, 0, Config{Alpha: 0.15, Epsilon: 1e-4})
+		if err != nil {
+			return false
+		}
+		st.Push([]graph.VertexID{0})
+		var touched []graph.VertexID
+		for i := 0; i < 40; i++ {
+			u := graph.VertexID(rng.Intn(35))
+			v := graph.VertexID(rng.Intn(35))
+			if u == v {
+				continue
+			}
+			if rng.Intn(3) == 0 && g.HasEdge(u, v) {
+				ts, _, err := st.ApplyDelete(u, v)
+				if err != nil {
+					return false
+				}
+				touched = append(touched, ts...)
+			} else {
+				ts, _, err := st.ApplyInsert(u, v)
+				if err != nil {
+					return false
+				}
+				touched = append(touched, ts...)
+			}
+			if st.InvariantError() > 1e-9 {
+				return false
+			}
+		}
+		st.Push(touched)
+		return st.Converged() && st.InvariantError() <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dataset is a named entry in the synthetic catalog that mirrors the dataset
+// roster of the paper's evaluation (Section 5.1). The vertex/edge counts are
+// scaled down by roughly 1000x so experiments finish on a laptop, while the
+// degree skew of the original (social networks, power-law) is preserved by
+// the generator choice.
+type Dataset struct {
+	Config
+	// PaperVertices and PaperEdges record the size of the original dataset,
+	// for documentation in experiment output.
+	PaperVertices int
+	PaperEdges    int
+}
+
+// Catalog returns the named synthetic datasets, smallest first. The names
+// match the paper: Youtube, Pokec, LiveJournal, Orkut, Twitter.
+func Catalog() []Dataset {
+	return []Dataset{
+		{
+			Config:        Config{Name: "youtube", Model: RMAT, Vertices: 1100, Edges: 2900, Seed: 11},
+			PaperVertices: 1_100_000, PaperEdges: 2_900_000,
+		},
+		{
+			Config:        Config{Name: "pokec", Model: RMAT, Vertices: 1600, Edges: 30600, Seed: 12},
+			PaperVertices: 1_600_000, PaperEdges: 30_600_000,
+		},
+		{
+			Config:        Config{Name: "livejournal", Model: RMAT, Vertices: 4800, Edges: 68900, Seed: 13},
+			PaperVertices: 4_800_000, PaperEdges: 68_900_000,
+		},
+		{
+			Config:        Config{Name: "orkut", Model: BarabasiAlbert, Vertices: 3000, Edges: 117100, Seed: 14},
+			PaperVertices: 3_000_000, PaperEdges: 117_100_000,
+		},
+		{
+			Config:        Config{Name: "twitter", Model: RMAT, Vertices: 41600, Edges: 350000, Seed: 15},
+			PaperVertices: 41_600_000, PaperEdges: 1_400_000_000,
+		},
+	}
+}
+
+// DatasetByName looks up a catalog entry by name.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Catalog() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	names := DatasetNames()
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q (have %v)", name, names)
+}
+
+// DatasetNames returns the catalog names in catalog order.
+func DatasetNames() []string {
+	cat := Catalog()
+	names := make([]string, len(cat))
+	for i, d := range cat {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// SmallCatalog returns a reduced catalog (the three smallest datasets) for
+// fast experiment runs and tests.
+func SmallCatalog() []Dataset {
+	cat := Catalog()
+	sort.Slice(cat, func(i, j int) bool { return cat[i].Edges < cat[j].Edges })
+	if len(cat) > 3 {
+		cat = cat[:3]
+	}
+	return cat
+}

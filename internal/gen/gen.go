@@ -1,0 +1,184 @@
+// Package gen produces the synthetic graphs and edge streams used in place of
+// the SNAP datasets of the paper's evaluation (Pokec, LiveJournal, Youtube,
+// Orkut, Twitter). Real social networks are heavy-tailed, so the catalog is
+// built from power-law generators (R-MAT and Barabási–Albert preferential
+// attachment); a uniform Erdős–Rényi generator is included for tests and for
+// workloads without skew.
+//
+// Every generator is deterministic given its seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dynppr/internal/graph"
+)
+
+// Model selects a random-graph model.
+type Model int
+
+const (
+	// ErdosRenyi draws each edge's endpoints uniformly at random.
+	ErdosRenyi Model = iota
+	// BarabasiAlbert grows the graph by preferential attachment, producing a
+	// power-law in-degree distribution.
+	BarabasiAlbert
+	// RMAT generates edges by recursive quadrant sampling (the Graph500
+	// Kronecker generator), producing power-law degrees on both sides.
+	RMAT
+)
+
+// String returns the model name.
+func (m Model) String() string {
+	switch m {
+	case ErdosRenyi:
+		return "erdos-renyi"
+	case BarabasiAlbert:
+		return "barabasi-albert"
+	case RMAT:
+		return "rmat"
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
+
+// Config describes a synthetic graph to generate.
+type Config struct {
+	Name     string // catalog name, informational
+	Model    Model
+	Vertices int
+	Edges    int
+	Seed     int64
+
+	// RMAT partition probabilities; zero values default to the Graph500
+	// constants (0.57, 0.19, 0.19, 0.05).
+	A, B, C float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Vertices <= 0 {
+		return fmt.Errorf("gen: vertices must be positive, got %d", c.Vertices)
+	}
+	if c.Edges < 0 {
+		return fmt.Errorf("gen: edges must be non-negative, got %d", c.Edges)
+	}
+	if c.A < 0 || c.B < 0 || c.C < 0 || c.A+c.B+c.C > 1+1e-9 {
+		return fmt.Errorf("gen: invalid RMAT probabilities a=%v b=%v c=%v", c.A, c.B, c.C)
+	}
+	return nil
+}
+
+// EdgeList generates the edge list for the configuration. Self-loops are
+// skipped and duplicate edges are allowed (the stream layer and graph layer
+// both tolerate them); the returned list has exactly the requested number of
+// non-self-loop edge occurrences, so the distinct-edge count of the resulting
+// graph may be slightly smaller.
+func EdgeList(c Config) ([]graph.Edge, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	switch c.Model {
+	case ErdosRenyi:
+		return erdosRenyi(c, rng), nil
+	case BarabasiAlbert:
+		return barabasiAlbert(c, rng), nil
+	case RMAT:
+		return rmat(c, rng), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown model %v", c.Model)
+	}
+}
+
+// Generate builds a graph directly from the configuration.
+func Generate(c Config) (*graph.Graph, error) {
+	edges, err := EdgeList(c)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.New(c.Vertices)
+	for _, e := range edges {
+		if _, err := g.AddEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func erdosRenyi(c Config, rng *rand.Rand) []graph.Edge {
+	edges := make([]graph.Edge, 0, c.Edges)
+	for len(edges) < c.Edges {
+		u := graph.VertexID(rng.Intn(c.Vertices))
+		v := graph.VertexID(rng.Intn(c.Vertices))
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	return edges
+}
+
+func barabasiAlbert(c Config, rng *rand.Rand) []graph.Edge {
+	if c.Vertices < 2 {
+		return nil
+	}
+	// Target endpoints are drawn from the list of all previous endpoints,
+	// which is equivalent to degree-proportional sampling.
+	edges := make([]graph.Edge, 0, c.Edges)
+	endpoints := make([]graph.VertexID, 0, 2*c.Edges+2)
+	endpoints = append(endpoints, 0, 1)
+	edges = append(edges, graph.Edge{U: 0, V: 1})
+	perVertex := c.Edges / c.Vertices
+	if perVertex < 1 {
+		perVertex = 1
+	}
+	for len(edges) < c.Edges {
+		u := graph.VertexID(rng.Intn(c.Vertices))
+		for k := 0; k < perVertex && len(edges) < c.Edges; k++ {
+			v := endpoints[rng.Intn(len(endpoints))]
+			if v == u {
+				continue
+			}
+			edges = append(edges, graph.Edge{U: u, V: v})
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	return edges
+}
+
+func rmat(c Config, rng *rand.Rand) []graph.Edge {
+	a, b, cc := c.A, c.B, c.C
+	if a == 0 && b == 0 && cc == 0 {
+		a, b, cc = 0.57, 0.19, 0.19
+	}
+	// Number of bits needed to cover the vertex space.
+	bits := 0
+	for (1 << bits) < c.Vertices {
+		bits++
+	}
+	edges := make([]graph.Edge, 0, c.Edges)
+	for len(edges) < c.Edges {
+		u, v := 0, 0
+		for l := 0; l < bits; l++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left quadrant: no bits set
+			case r < a+b:
+				v |= 1 << l
+			case r < a+b+cc:
+				u |= 1 << l
+			default:
+				u |= 1 << l
+				v |= 1 << l
+			}
+		}
+		if u >= c.Vertices || v >= c.Vertices || u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: graph.VertexID(u), V: graph.VertexID(v)})
+	}
+	return edges
+}

@@ -1,0 +1,196 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynppr/internal/graph"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Vertices: 0, Edges: 10},
+		{Vertices: -1, Edges: 10},
+		{Vertices: 10, Edges: -1},
+		{Vertices: 10, Edges: 5, A: 0.6, B: 0.3, C: 0.3},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+	good := Config{Vertices: 10, Edges: 5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(%+v) = %v", good, err)
+	}
+}
+
+func TestEdgeListModels(t *testing.T) {
+	for _, m := range []Model{ErdosRenyi, BarabasiAlbert, RMAT} {
+		c := Config{Model: m, Vertices: 128, Edges: 500, Seed: 42}
+		edges, err := EdgeList(c)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(edges) != c.Edges {
+			t.Fatalf("%v: got %d edges, want %d", m, len(edges), c.Edges)
+		}
+		for _, e := range edges {
+			if e.U == e.V {
+				t.Fatalf("%v: self loop %v", m, e)
+			}
+			if e.U < 0 || int(e.U) >= c.Vertices || e.V < 0 || int(e.V) >= c.Vertices {
+				t.Fatalf("%v: edge out of range %v", m, e)
+			}
+		}
+	}
+}
+
+func TestEdgeListDeterministic(t *testing.T) {
+	c := Config{Model: RMAT, Vertices: 256, Edges: 1000, Seed: 7}
+	a, err := EdgeList(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EdgeList(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c2 := c
+	c2.Seed = 8
+	b2, _ := EdgeList(c2)
+	same := true
+	for i := range a {
+		if a[i] != b2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical edge lists")
+	}
+}
+
+func TestGenerateBuildsGraph(t *testing.T) {
+	g, err := Generate(Config{Model: BarabasiAlbert, Vertices: 200, Edges: 800, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() < 2 || g.NumEdges() == 0 {
+		t.Fatalf("graph too small: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateUnknownModel(t *testing.T) {
+	if _, err := EdgeList(Config{Model: Model(99), Vertices: 10, Edges: 5}); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if ErdosRenyi.String() != "erdos-renyi" || BarabasiAlbert.String() != "barabasi-albert" ||
+		RMAT.String() != "rmat" || Model(9).String() == "" {
+		t.Fatal("Model.String broken")
+	}
+}
+
+// Power-law generators must produce skewed degree distributions: the top 1%
+// of vertices should hold a disproportionate share of the edges relative to a
+// uniform graph.
+func TestRMATIsSkewed(t *testing.T) {
+	n, m := 1024, 20000
+	skewed, err := Generate(Config{Model: RMAT, Vertices: n, Edges: m, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := Generate(Config{Model: ErdosRenyi, Vertices: n, Edges: m, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shareTop := func(g *graph.Graph) float64 {
+		top := g.TopDegreeVertices(n / 100)
+		sum := 0
+		for _, v := range top {
+			sum += g.OutDegree(v)
+		}
+		return float64(sum) / float64(g.NumEdges())
+	}
+	if s, u := shareTop(skewed), shareTop(uniform); s <= u {
+		t.Fatalf("rmat top-1%% share %.3f should exceed uniform %.3f", s, u)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 5 {
+		t.Fatalf("catalog size = %d, want 5", len(cat))
+	}
+	names := map[string]bool{}
+	for _, d := range cat {
+		if err := d.Validate(); err != nil {
+			t.Errorf("dataset %s invalid: %v", d.Name, err)
+		}
+		if d.PaperEdges <= d.Edges {
+			t.Errorf("dataset %s: paper edges %d should exceed scaled edges %d", d.Name, d.PaperEdges, d.Edges)
+		}
+		names[d.Name] = true
+	}
+	for _, want := range []string{"youtube", "pokec", "livejournal", "orkut", "twitter"} {
+		if !names[want] {
+			t.Errorf("catalog missing %s", want)
+		}
+	}
+	if _, err := DatasetByName("pokec"); err != nil {
+		t.Errorf("DatasetByName(pokec): %v", err)
+	}
+	if _, err := DatasetByName("no-such"); err == nil {
+		t.Error("DatasetByName should fail for unknown names")
+	}
+	if len(DatasetNames()) != 5 {
+		t.Error("DatasetNames length wrong")
+	}
+	small := SmallCatalog()
+	if len(small) != 3 {
+		t.Fatalf("SmallCatalog size = %d", len(small))
+	}
+	for i := 1; i < len(small); i++ {
+		if small[i].Edges < small[i-1].Edges {
+			t.Fatal("SmallCatalog not sorted by edges")
+		}
+	}
+}
+
+// Property: every generated edge list respects the vertex bound regardless of
+// seed and size.
+func TestEdgeListBoundsProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint16) bool {
+		n := int(nRaw)%500 + 2
+		m := int(mRaw) % 2000
+		for _, model := range []Model{ErdosRenyi, RMAT, BarabasiAlbert} {
+			edges, err := EdgeList(Config{Model: model, Vertices: n, Edges: m, Seed: seed})
+			if err != nil {
+				return false
+			}
+			for _, e := range edges {
+				if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n || e.U == e.V {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package graph
+
+// CSR is an immutable compressed-sparse-row snapshot of a graph, in both
+// directions. The vertex-centric baseline and the power-iteration oracle use
+// CSR snapshots because they operate on a frozen graph per batch, while the
+// dynamic engines read the live adjacency lists directly.
+type CSR struct {
+	n int
+
+	outOffsets []int32
+	outTargets []VertexID
+
+	inOffsets []int32
+	inTargets []VertexID
+}
+
+// Snapshot builds a CSR copy of the current graph state.
+func (g *Graph) Snapshot() *CSR {
+	n := len(g.out)
+	c := &CSR{
+		n:          n,
+		outOffsets: make([]int32, n+1),
+		inOffsets:  make([]int32, n+1),
+	}
+	totalOut := 0
+	totalIn := 0
+	for i := 0; i < n; i++ {
+		totalOut += len(g.out[i])
+		totalIn += len(g.in[i])
+		c.outOffsets[i+1] = int32(totalOut)
+		c.inOffsets[i+1] = int32(totalIn)
+	}
+	c.outTargets = make([]VertexID, 0, totalOut)
+	c.inTargets = make([]VertexID, 0, totalIn)
+	for i := 0; i < n; i++ {
+		c.outTargets = append(c.outTargets, g.out[i]...)
+		c.inTargets = append(c.inTargets, g.in[i]...)
+	}
+	return c
+}
+
+// NumVertices returns the number of vertices in the snapshot.
+func (c *CSR) NumVertices() int { return c.n }
+
+// NumEdges returns the number of directed edges in the snapshot.
+func (c *CSR) NumEdges() int { return len(c.outTargets) }
+
+// OutDegree returns the out-degree of u in the snapshot.
+func (c *CSR) OutDegree(u VertexID) int {
+	return int(c.outOffsets[u+1] - c.outOffsets[u])
+}
+
+// InDegree returns the in-degree of v in the snapshot.
+func (c *CSR) InDegree(v VertexID) int {
+	return int(c.inOffsets[v+1] - c.inOffsets[v])
+}
+
+// OutNeighbors returns the out-neighbors of u (read-only view).
+func (c *CSR) OutNeighbors(u VertexID) []VertexID {
+	return c.outTargets[c.outOffsets[u]:c.outOffsets[u+1]]
+}
+
+// InNeighbors returns the in-neighbors of v (read-only view).
+func (c *CSR) InNeighbors(v VertexID) []VertexID {
+	return c.inTargets[c.inOffsets[v]:c.inOffsets[v+1]]
+}

@@ -1,0 +1,287 @@
+// Package graph implements the dynamic directed graph substrate the local
+// update scheme runs on: adjacency lists with O(1) amortized edge insertion,
+// swap-based deletion, both out- and in-neighbor access (the push walks
+// in-neighbors, the invariant restore needs out-degrees), degree statistics
+// and immutable CSR snapshots for the baselines that want a frozen view.
+//
+// Vertices are identified by dense non-negative int32 ids. The graph grows
+// automatically when an edge mentions a vertex id beyond the current size,
+// matching the paper's dynamic model where "an edge insertion may introduce
+// new vertices".
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. IDs are dense and non-negative.
+type VertexID = int32
+
+// Edge is a directed edge u -> v.
+type Edge struct {
+	U, V VertexID
+}
+
+// ErrEdgeNotFound is returned by RemoveEdge when the edge does not exist.
+var ErrEdgeNotFound = errors.New("graph: edge not found")
+
+// ErrNegativeVertex is returned when an edge mentions a negative vertex id.
+var ErrNegativeVertex = errors.New("graph: negative vertex id")
+
+// Graph is a dynamic directed multigraph-free graph: at most one edge u->v is
+// stored per ordered pair. It is not safe for concurrent mutation; the
+// engines mutate it only between push rounds (the push itself only reads).
+type Graph struct {
+	out [][]VertexID // out[u] = out-neighbors of u
+	in  [][]VertexID // in[v]  = in-neighbors of v
+	// edgeSet tracks membership for duplicate/removal checks.
+	edgeSet map[Edge]struct{}
+	m       int // number of edges
+}
+
+// New returns an empty graph pre-sized for n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{
+		out:     make([][]VertexID, n),
+		in:      make([][]VertexID, n),
+		edgeSet: make(map[Edge]struct{}),
+	}
+}
+
+// FromEdges builds a graph from a list of edges, ignoring duplicates.
+func FromEdges(edges []Edge) *Graph {
+	g := New(0)
+	for _, e := range edges {
+		_, _ = g.AddEdge(e.U, e.V)
+	}
+	return g
+}
+
+// NumVertices returns the number of vertex slots (max id seen + 1, or the
+// initial size if larger).
+func (g *Graph) NumVertices() int { return len(g.out) }
+
+// NumEdges returns the number of directed edges currently in the graph.
+func (g *Graph) NumEdges() int { return g.m }
+
+// EnsureVertex grows the graph so that id is a valid vertex.
+func (g *Graph) EnsureVertex(id VertexID) {
+	if int(id) < len(g.out) {
+		return
+	}
+	need := int(id) + 1
+	for len(g.out) < need {
+		g.out = append(g.out, nil)
+		g.in = append(g.in, nil)
+	}
+}
+
+// HasEdge reports whether edge u->v exists.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	_, ok := g.edgeSet[Edge{u, v}]
+	return ok
+}
+
+// AddEdge inserts the directed edge u->v. Inserting an edge that already
+// exists is a no-op and returns false with a nil error; a successful insert
+// returns true. Negative ids return ErrNegativeVertex.
+func (g *Graph) AddEdge(u, v VertexID) (bool, error) {
+	if u < 0 || v < 0 {
+		return false, fmt.Errorf("%w: (%d,%d)", ErrNegativeVertex, u, v)
+	}
+	e := Edge{u, v}
+	if _, ok := g.edgeSet[e]; ok {
+		return false, nil
+	}
+	g.EnsureVertex(u)
+	g.EnsureVertex(v)
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	g.edgeSet[e] = struct{}{}
+	g.m++
+	return true, nil
+}
+
+// RemoveEdge deletes the directed edge u->v. Deleting a missing edge returns
+// ErrEdgeNotFound.
+func (g *Graph) RemoveEdge(u, v VertexID) error {
+	e := Edge{u, v}
+	if _, ok := g.edgeSet[e]; !ok {
+		return fmt.Errorf("%w: (%d,%d)", ErrEdgeNotFound, u, v)
+	}
+	delete(g.edgeSet, e)
+	g.out[u] = removeOne(g.out[u], v)
+	g.in[v] = removeOne(g.in[v], u)
+	g.m--
+	return nil
+}
+
+// removeOne removes the first occurrence of x from s by swapping with the
+// last element (order within an adjacency list is not meaningful).
+func removeOne(s []VertexID, x VertexID) []VertexID {
+	for i, y := range s {
+		if y == x {
+			last := len(s) - 1
+			s[i] = s[last]
+			return s[:last]
+		}
+	}
+	return s
+}
+
+// OutDegree returns the out-degree of u (0 for out-of-range ids).
+func (g *Graph) OutDegree(u VertexID) int {
+	if int(u) >= len(g.out) || u < 0 {
+		return 0
+	}
+	return len(g.out[u])
+}
+
+// InDegree returns the in-degree of v (0 for out-of-range ids).
+func (g *Graph) InDegree(v VertexID) int {
+	if int(v) >= len(g.in) || v < 0 {
+		return 0
+	}
+	return len(g.in[v])
+}
+
+// OutNeighbors returns the out-neighbor slice of u. The slice is owned by the
+// graph; callers must not mutate it and must not hold it across mutations.
+func (g *Graph) OutNeighbors(u VertexID) []VertexID {
+	if int(u) >= len(g.out) || u < 0 {
+		return nil
+	}
+	return g.out[u]
+}
+
+// InNeighbors returns the in-neighbor slice of v with the same aliasing rules
+// as OutNeighbors.
+func (g *Graph) InNeighbors(v VertexID) []VertexID {
+	if int(v) >= len(g.in) || v < 0 {
+		return nil
+	}
+	return g.in[v]
+}
+
+// Edges returns all edges in an unspecified order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u, nbrs := range g.out {
+		for _, v := range nbrs {
+			out = append(out, Edge{VertexID(u), v})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		out:     make([][]VertexID, len(g.out)),
+		in:      make([][]VertexID, len(g.in)),
+		edgeSet: make(map[Edge]struct{}, len(g.edgeSet)),
+		m:       g.m,
+	}
+	for i, s := range g.out {
+		c.out[i] = append([]VertexID(nil), s...)
+	}
+	for i, s := range g.in {
+		c.in[i] = append([]VertexID(nil), s...)
+	}
+	for e := range g.edgeSet {
+		c.edgeSet[e] = struct{}{}
+	}
+	return c
+}
+
+// AverageDegree returns m/n, the average out-degree, or 0 for an empty graph.
+func (g *Graph) AverageDegree() float64 {
+	if len(g.out) == 0 {
+		return 0
+	}
+	return float64(g.m) / float64(len(g.out))
+}
+
+// MaxOutDegree returns the largest out-degree in the graph.
+func (g *Graph) MaxOutDegree() int {
+	max := 0
+	for _, s := range g.out {
+		if len(s) > max {
+			max = len(s)
+		}
+	}
+	return max
+}
+
+// TopDegreeVertices returns up to k vertex ids sorted by decreasing
+// out-degree (ties broken by ascending id). It backs the paper's "top-10 /
+// top-1K / top-1M out-degree" source selection (Figure 7).
+func (g *Graph) TopDegreeVertices(k int) []VertexID {
+	n := len(g.out)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	ids := make([]VertexID, n)
+	for i := range ids {
+		ids[i] = VertexID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		da, db := len(g.out[ids[a]]), len(g.out[ids[b]])
+		if da != db {
+			return da > db
+		}
+		return ids[a] < ids[b]
+	})
+	return ids[:k]
+}
+
+// DegreeHistogram returns a map from out-degree to the number of vertices
+// with that out-degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, s := range g.out {
+		h[len(s)]++
+	}
+	return h
+}
+
+// CheckConsistency validates the internal invariants of the graph: the edge
+// set, the out lists and the in lists must describe the same edge multiset
+// and m must equal their cardinality. It is used by tests and by failure
+// injection tooling.
+func (g *Graph) CheckConsistency() error {
+	if len(g.out) != len(g.in) {
+		return fmt.Errorf("graph: out has %d slots, in has %d", len(g.out), len(g.in))
+	}
+	countOut := 0
+	for u, nbrs := range g.out {
+		countOut += len(nbrs)
+		for _, v := range nbrs {
+			if _, ok := g.edgeSet[Edge{VertexID(u), v}]; !ok {
+				return fmt.Errorf("graph: out list has (%d,%d) missing from edge set", u, v)
+			}
+		}
+	}
+	countIn := 0
+	for v, nbrs := range g.in {
+		countIn += len(nbrs)
+		for _, u := range nbrs {
+			if _, ok := g.edgeSet[Edge{u, VertexID(v)}]; !ok {
+				return fmt.Errorf("graph: in list has (%d,%d) missing from edge set", u, v)
+			}
+		}
+	}
+	if countOut != g.m || countIn != g.m || len(g.edgeSet) != g.m {
+		return fmt.Errorf("graph: edge count mismatch m=%d out=%d in=%d set=%d",
+			g.m, countOut, countIn, len(g.edgeSet))
+	}
+	return nil
+}

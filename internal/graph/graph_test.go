@@ -1,0 +1,230 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddRemoveEdgeBasics(t *testing.T) {
+	g := New(0)
+	added, err := g.AddEdge(0, 1)
+	if err != nil || !added {
+		t.Fatalf("AddEdge(0,1) = %v, %v", added, err)
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("edge direction wrong")
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	// Duplicate insert is a no-op.
+	added, err = g.AddEdge(0, 1)
+	if err != nil || added {
+		t.Fatalf("duplicate AddEdge = %v, %v", added, err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("m after duplicate = %d", g.NumEdges())
+	}
+	if err := g.RemoveEdge(0, 1); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	if g.HasEdge(0, 1) || g.NumEdges() != 0 {
+		t.Fatal("edge still present after removal")
+	}
+	if err := g.RemoveEdge(0, 1); !errors.Is(err, ErrEdgeNotFound) {
+		t.Fatalf("RemoveEdge missing = %v, want ErrEdgeNotFound", err)
+	}
+}
+
+func TestAddEdgeNegativeVertex(t *testing.T) {
+	g := New(0)
+	if _, err := g.AddEdge(-1, 2); !errors.Is(err, ErrNegativeVertex) {
+		t.Fatalf("err = %v, want ErrNegativeVertex", err)
+	}
+	if _, err := g.AddEdge(2, -1); !errors.Is(err, ErrNegativeVertex) {
+		t.Fatalf("err = %v, want ErrNegativeVertex", err)
+	}
+}
+
+func TestDegreesAndNeighbors(t *testing.T) {
+	g := New(0)
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, g, 0, 2)
+	mustAdd(t, g, 3, 0)
+	if g.OutDegree(0) != 2 || g.InDegree(0) != 1 {
+		t.Fatalf("degrees of 0: out=%d in=%d", g.OutDegree(0), g.InDegree(0))
+	}
+	if g.OutDegree(100) != 0 || g.InDegree(-1) != 0 {
+		t.Fatal("out-of-range degrees must be 0")
+	}
+	if len(g.OutNeighbors(0)) != 2 || len(g.InNeighbors(0)) != 1 {
+		t.Fatal("neighbor slices wrong")
+	}
+	if g.OutNeighbors(100) != nil || g.InNeighbors(-5) != nil {
+		t.Fatal("out-of-range neighbors must be nil")
+	}
+}
+
+func TestFromEdgesAndEdges(t *testing.T) {
+	edges := []Edge{{0, 1}, {1, 2}, {2, 0}, {0, 1}}
+	g := FromEdges(edges)
+	if g.NumEdges() != 3 {
+		t.Fatalf("m = %d, want 3 (dup ignored)", g.NumEdges())
+	}
+	got := g.Edges()
+	if len(got) != 3 {
+		t.Fatalf("Edges() len = %d", len(got))
+	}
+	seen := make(map[Edge]bool)
+	for _, e := range got {
+		seen[e] = true
+	}
+	for _, e := range []Edge{{0, 1}, {1, 2}, {2, 0}} {
+		if !seen[e] {
+			t.Fatalf("missing edge %v", e)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := FromEdges([]Edge{{0, 1}, {1, 2}})
+	c := g.Clone()
+	mustAdd(t, c, 2, 0)
+	if g.HasEdge(2, 0) {
+		t.Fatal("clone shares state with original")
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopDegreeVertices(t *testing.T) {
+	g := New(5)
+	// degrees: 0 -> 3, 1 -> 2, 2 -> 0, 3 -> 1, 4 -> 0
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, g, 0, 2)
+	mustAdd(t, g, 0, 3)
+	mustAdd(t, g, 1, 2)
+	mustAdd(t, g, 1, 3)
+	mustAdd(t, g, 3, 4)
+	top := g.TopDegreeVertices(3)
+	want := []VertexID{0, 1, 3}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("top = %v, want %v", top, want)
+		}
+	}
+	if got := g.TopDegreeVertices(100); len(got) != 5 {
+		t.Fatalf("k>n should clamp: %d", len(got))
+	}
+	if got := g.TopDegreeVertices(0); got != nil {
+		t.Fatalf("k=0 should be nil: %v", got)
+	}
+	if g.MaxOutDegree() != 3 {
+		t.Fatalf("MaxOutDegree = %d", g.MaxOutDegree())
+	}
+	if g.AverageDegree() != 6.0/5.0 {
+		t.Fatalf("AverageDegree = %v", g.AverageDegree())
+	}
+	h := g.DegreeHistogram()
+	if h[0] != 2 || h[1] != 1 || h[2] != 1 || h[3] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestAverageDegreeEmpty(t *testing.T) {
+	if New(0).AverageDegree() != 0 {
+		t.Fatal("empty graph average degree must be 0")
+	}
+}
+
+func TestSnapshotMatchesGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := New(50)
+	for i := 0; i < 400; i++ {
+		u := VertexID(rng.Intn(50))
+		v := VertexID(rng.Intn(50))
+		_, _ = g.AddEdge(u, v)
+	}
+	c := g.Snapshot()
+	if c.NumVertices() != g.NumVertices() || c.NumEdges() != g.NumEdges() {
+		t.Fatalf("snapshot sizes differ: %d/%d vs %d/%d",
+			c.NumVertices(), c.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for u := VertexID(0); int(u) < g.NumVertices(); u++ {
+		if c.OutDegree(u) != g.OutDegree(u) || c.InDegree(u) != g.InDegree(u) {
+			t.Fatalf("degree mismatch at %d", u)
+		}
+		outSet := make(map[VertexID]bool)
+		for _, v := range g.OutNeighbors(u) {
+			outSet[v] = true
+		}
+		for _, v := range c.OutNeighbors(u) {
+			if !outSet[v] {
+				t.Fatalf("snapshot out edge (%d,%d) not in graph", u, v)
+			}
+		}
+		inSet := make(map[VertexID]bool)
+		for _, w := range g.InNeighbors(u) {
+			inSet[w] = true
+		}
+		for _, w := range c.InNeighbors(u) {
+			if !inSet[w] {
+				t.Fatalf("snapshot in edge (%d,%d) not in graph", w, u)
+			}
+		}
+	}
+}
+
+// Property: a random interleaving of inserts and deletes always leaves the
+// graph internally consistent, and in/out degree sums both equal the edge
+// count.
+func TestRandomMutationConsistency(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(10)
+		n := int(ops)%200 + 1
+		for i := 0; i < n; i++ {
+			u := VertexID(rng.Intn(20))
+			v := VertexID(rng.Intn(20))
+			if rng.Intn(3) == 0 && g.HasEdge(u, v) {
+				if err := g.RemoveEdge(u, v); err != nil {
+					return false
+				}
+			} else {
+				if _, err := g.AddEdge(u, v); err != nil {
+					return false
+				}
+			}
+		}
+		if err := g.CheckConsistency(); err != nil {
+			t.Logf("consistency: %v", err)
+			return false
+		}
+		sumOut, sumIn := 0, 0
+		for u := VertexID(0); int(u) < g.NumVertices(); u++ {
+			sumOut += g.OutDegree(u)
+			sumIn += g.InDegree(u)
+		}
+		return sumOut == g.NumEdges() && sumIn == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustAdd(t *testing.T, g *Graph, u, v VertexID) {
+	t.Helper()
+	added, err := g.AddEdge(u, v)
+	if err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+	if !added {
+		t.Fatalf("AddEdge(%d,%d): duplicate", u, v)
+	}
+}

@@ -1,0 +1,195 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"dynppr/internal/gen"
+	"dynppr/internal/graph"
+)
+
+// fig1Graph builds the 4-vertex running example of the paper (Figures 1/3):
+// edges 1->4, 2->1, 3->1, 3->2, 4->3, with vertices renumbered 0..3.
+func fig1Graph() *graph.Graph {
+	return graph.FromEdges([]graph.Edge{
+		{U: 0, V: 3},
+		{U: 1, V: 0},
+		{U: 2, V: 0},
+		{U: 2, V: 1},
+		{U: 3, V: 2},
+	})
+}
+
+func TestOptionsValidation(t *testing.T) {
+	bad := []Options{
+		{Alpha: 0, Tolerance: 1e-9, MaxIterations: 10},
+		{Alpha: 1, Tolerance: 1e-9, MaxIterations: 10},
+		{Alpha: 0.5, Tolerance: 0, MaxIterations: 10},
+		{Alpha: 0.5, Tolerance: 1e-9, MaxIterations: 0},
+	}
+	g := fig1Graph()
+	for _, o := range bad {
+		if _, err := ReverseGraph(g, 0, o); err == nil {
+			t.Errorf("Reverse with %+v should fail", o)
+		}
+		if _, err := ForwardGraph(g, 0, o); err == nil {
+			t.Errorf("Forward with %+v should fail", o)
+		}
+	}
+	if _, err := ReverseGraph(g, 99, DefaultOptions()); err == nil {
+		t.Error("out-of-range source should fail")
+	}
+	if _, err := ForwardGraph(g, -1, DefaultOptions()); err == nil {
+		t.Error("negative source should fail")
+	}
+}
+
+// The convergent state of Figure 3 (α=0.5, source v1=vertex 0) reports
+// P1 = (0.5, 0.25, 0.1875, 0.0625) with residuals bounded by ε=0.1; the exact
+// fixed point must be within 0.1 of those estimates (it is what the push was
+// approximating).
+func TestReverseMatchesPaperExample(t *testing.T) {
+	g := fig1Graph()
+	opts := DefaultOptions()
+	opts.Alpha = 0.5
+	pi, err := ReverseGraph(g, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperEstimate := []float64{0.5, 0.25, 0.1875, 0.0625}
+	for v, want := range paperEstimate {
+		if d := math.Abs(pi[v] - want); d > 0.1 {
+			t.Errorf("pi[%d] = %v, paper estimate %v, |diff| = %v > 0.1", v, pi[v], want, d)
+		}
+	}
+	// The source itself must hold at least α.
+	if pi[0] < 0.5 {
+		t.Errorf("pi[source] = %v, want >= alpha", pi[0])
+	}
+}
+
+// Reverse values must satisfy Equation 2 with zero residual.
+func TestReverseSatisfiesFixedPoint(t *testing.T) {
+	g, err := gen.Generate(gen.Config{Model: gen.RMAT, Vertices: 200, Edges: 1500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Snapshot()
+	opts := DefaultOptions()
+	pi, err := Reverse(c, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < c.NumVertices(); v++ {
+		want := 0.0
+		if v == 0 {
+			want = opts.Alpha
+		}
+		out := c.OutNeighbors(graph.VertexID(v))
+		if len(out) > 0 {
+			var sum float64
+			for _, w := range out {
+				sum += pi[w]
+			}
+			want += (1 - opts.Alpha) * sum / float64(len(out))
+		}
+		if d := math.Abs(pi[v] - want); d > 1e-9 {
+			t.Fatalf("fixed point violated at %d: pi=%v rhs=%v", v, pi[v], want)
+		}
+	}
+}
+
+// Reverse values are probabilities: within [0, 1], and exactly α·1{v=s} for a
+// vertex with no outgoing edges.
+func TestReverseRangeAndDangling(t *testing.T) {
+	g := graph.FromEdges([]graph.Edge{{U: 0, V: 1}, {U: 2, V: 1}})
+	// vertex 1 is dangling.
+	pi, err := ReverseGraph(g, 1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[1]-0.15) > 1e-12 {
+		t.Errorf("dangling target pi = %v, want alpha", pi[1])
+	}
+	for v, x := range pi {
+		if x < 0 || x > 1 {
+			t.Errorf("pi[%d] = %v out of [0,1]", v, x)
+		}
+	}
+	// Vertices 0 and 2 point straight at the target: value α(1-α)... at least
+	// (1-α)·α of their walk mass reaches 1 on the first hop and stops with
+	// probability α... exact value: (1-α)·pi[1] = (1-α)·α.
+	want := (1 - 0.15) * 0.15
+	if math.Abs(pi[0]-want) > 1e-9 || math.Abs(pi[2]-want) > 1e-9 {
+		t.Errorf("pi[0]=%v pi[2]=%v want %v", pi[0], pi[2], want)
+	}
+}
+
+// Forward PPR must sum to 1 (it is a probability distribution over stopping
+// positions) and put at least α at the source.
+func TestForwardIsDistribution(t *testing.T) {
+	g, err := gen.Generate(gen.Config{Model: gen.BarabasiAlbert, Vertices: 300, Edges: 2000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := ForwardGraph(g, 5, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for v, x := range pi {
+		if x < -1e-12 {
+			t.Fatalf("negative probability at %d: %v", v, x)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("forward PPR sums to %v, want 1", sum)
+	}
+	if pi[5] < 0.15-1e-9 {
+		t.Fatalf("source mass %v < alpha", pi[5])
+	}
+}
+
+// On a graph where every vertex has out-degree >= 1, forward PPR of s summed
+// over targets equals 1 and reverse PPR towards s summed over *sources*
+// weighting uniformly equals (1/n)·Σ_v π_v(s)·n — consistency check between
+// the two formulations: Σ_s forward_s(v) over all s equals Σ reverse relation.
+// We verify the simpler identity: forward from s at target t equals reverse
+// towards t evaluated at s, for every pair on a small graph.
+func TestForwardReverseDuality(t *testing.T) {
+	g := graph.FromEdges([]graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 1, V: 0}, {U: 2, V: 1},
+	})
+	opts := DefaultOptions()
+	n := g.NumVertices()
+	c := g.Snapshot()
+	for s := graph.VertexID(0); int(s) < n; s++ {
+		fwd, err := Forward(c, s, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tgt := graph.VertexID(0); int(tgt) < n; tgt++ {
+			rev, err := Reverse(c, tgt, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(fwd[tgt] - rev[s]); d > 1e-9 {
+				t.Fatalf("duality violated: forward_%d(%d)=%v reverse_%d(%d)=%v",
+					s, tgt, fwd[tgt], tgt, s, rev[s])
+			}
+		}
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if d := MaxAbsDiff([]float64{1, 2, 3}, []float64{1, 2.5, 2}); d != 1 {
+		t.Fatalf("MaxAbsDiff = %v, want 1", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	MaxAbsDiff([]float64{1}, []float64{1, 2})
+}

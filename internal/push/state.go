@@ -1,0 +1,354 @@
+// Package push implements the paper's local update scheme for dynamic
+// Personalized PageRank: the per-vertex estimate/residual state, invariant
+// restoration against edge updates (Algorithm 1), the sequential local push
+// (Algorithm 2), the parallel local push (Algorithm 3) and its optimized
+// form with eager propagation and local duplicate detection (Algorithm 4).
+//
+// The quantity maintained is the contribution (reverse) PPR vector towards a
+// fixed source vertex s: the estimate P(v) approximates the probability that
+// a random walk from v, terminating with probability α at each step, stops at
+// s. The invariant kept for every vertex v (Equation 2 of the paper) is
+//
+//	P(v) + α·R(v) = α·1{v=s} + (1−α)/dout(v) · Σ_{x ∈ Nout(v)} P(x)
+//
+// and the scheme guarantees |P(v) − π(v)| ≤ ε whenever |R(v)| ≤ ε for all v.
+package push
+
+import (
+	"fmt"
+
+	"dynppr/internal/fp"
+	"dynppr/internal/graph"
+	"dynppr/internal/metrics"
+)
+
+// Config holds the two parameters of the local update scheme.
+type Config struct {
+	// Alpha is the teleport/termination probability (paper default 0.15).
+	Alpha float64
+	// Epsilon is the error threshold: after a push converges every residual
+	// has absolute value at most Epsilon, so every estimate is within Epsilon
+	// of the true value.
+	Epsilon float64
+}
+
+// DefaultConfig returns the paper's default α with an ε suitable for the
+// scaled-down datasets of this repository.
+func DefaultConfig() Config { return Config{Alpha: 0.15, Epsilon: 1e-6} }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("push: alpha must be in (0,1), got %v", c.Alpha)
+	}
+	if c.Epsilon <= 0 {
+		return fmt.Errorf("push: epsilon must be positive, got %v", c.Epsilon)
+	}
+	return nil
+}
+
+// State is the estimate/residual pair (P, R) for one source vertex over a
+// dynamic graph, together with the scheme parameters and work counters.
+//
+// A freshly constructed State carries the whole probability mass as residual
+// at the source (R(s)=1, P≡0), which is the standard cold-start of the local
+// update scheme; running any Engine to convergence then yields an
+// ε-approximate vector for the current graph.
+type State struct {
+	g      *graph.Graph
+	source graph.VertexID
+	cfg    Config
+
+	p *fp.Float64Vector
+	r *fp.Float64Vector
+
+	// Counters accumulates the work performed by invariant restoration and by
+	// the engines running over this state. Never nil.
+	Counters *metrics.Counters
+}
+
+// NewState creates the state for the given source on g. The source vertex is
+// created in the graph if it does not exist yet.
+func NewState(g *graph.Graph, source graph.VertexID, cfg Config) (*State, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if source < 0 {
+		return nil, fmt.Errorf("push: source must be non-negative, got %d", source)
+	}
+	g.EnsureVertex(source)
+	n := g.NumVertices()
+	st := &State{
+		g:        g,
+		source:   source,
+		cfg:      cfg,
+		p:        fp.NewFloat64Vector(n),
+		r:        fp.NewFloat64Vector(n),
+		Counters: &metrics.Counters{},
+	}
+	st.r.Set(int(source), 1)
+	return st, nil
+}
+
+// Graph returns the dynamic graph the state is tracking.
+func (st *State) Graph() *graph.Graph { return st.g }
+
+// Source returns the source vertex.
+func (st *State) Source() graph.VertexID { return st.source }
+
+// Alpha returns the teleport probability.
+func (st *State) Alpha() float64 { return st.cfg.Alpha }
+
+// Epsilon returns the error threshold.
+func (st *State) Epsilon() float64 { return st.cfg.Epsilon }
+
+// Config returns the scheme parameters.
+func (st *State) Config() Config { return st.cfg }
+
+// NumVertices returns the number of vertices covered by the state vectors.
+func (st *State) NumVertices() int { return st.p.Len() }
+
+// Estimate returns the current PPR estimate of v (0 for unknown vertices).
+func (st *State) Estimate(v graph.VertexID) float64 {
+	if int(v) >= st.p.Len() || v < 0 {
+		return 0
+	}
+	return st.p.Get(int(v))
+}
+
+// Residual returns the current residual of v (0 for unknown vertices).
+func (st *State) Residual(v graph.VertexID) float64 {
+	if int(v) >= st.r.Len() || v < 0 {
+		return 0
+	}
+	return st.r.Get(int(v))
+}
+
+// Estimates returns a copy of the estimate vector.
+func (st *State) Estimates() []float64 { return st.p.Snapshot() }
+
+// Residuals returns a copy of the residual vector.
+func (st *State) Residuals() []float64 { return st.r.Snapshot() }
+
+// ResidualL1 returns the L1 norm of the residual vector.
+func (st *State) ResidualL1() float64 { return st.r.SumAbs() }
+
+// MaxResidual returns the L∞ norm of the residual vector.
+func (st *State) MaxResidual() float64 { return st.r.MaxAbs() }
+
+// sync grows the state vectors to cover every vertex of the graph. It must be
+// called after graph mutations that may have introduced vertices.
+func (st *State) sync() {
+	n := st.g.NumVertices()
+	if n > st.p.Len() {
+		st.p.Resize(n)
+		st.r.Resize(n)
+	}
+}
+
+// ApplyInsert adds edge u->v to the graph and restores the invariant
+// (Algorithm 1, Insert). It reports whether the graph changed (false when the
+// edge already existed, in which case the invariant needs no repair).
+func (st *State) ApplyInsert(u, v graph.VertexID) (bool, error) {
+	added, err := st.g.AddEdge(u, v)
+	if err != nil || !added {
+		return false, err
+	}
+	st.sync()
+	st.restore(u, v, +1)
+	return true, nil
+}
+
+// ApplyDelete removes edge u->v from the graph and restores the invariant
+// (Algorithm 1, Delete). It reports whether the graph changed (false when the
+// edge did not exist).
+func (st *State) ApplyDelete(u, v graph.VertexID) (bool, error) {
+	if err := st.g.RemoveEdge(u, v); err != nil {
+		return false, nil //nolint:nilerr // missing edge is a skipped update, not an error
+	}
+	st.sync()
+	st.restore(u, v, -1)
+	return true, nil
+}
+
+// NoteInserted restores the invariant for an edge u->v that has already been
+// added to the graph by the caller. It exists for callers that maintain
+// several states over one shared graph (multi-source tracking): the graph is
+// mutated once and every state is notified.
+func (st *State) NoteInserted(u, v graph.VertexID) {
+	st.sync()
+	st.restore(u, v, +1)
+}
+
+// NoteDeleted restores the invariant for an edge u->v that has already been
+// removed from the graph by the caller.
+func (st *State) NoteDeleted(u, v graph.VertexID) {
+	st.sync()
+	st.restore(u, v, -1)
+}
+
+// restore repairs Equation 2 at u after the graph has already been mutated.
+// op is +1 for insertion of u->v and -1 for deletion. Only R(u) changes; the
+// new out-degree dout(u) (post-mutation) appears in the denominator, matching
+// Algorithm 1 of the paper.
+func (st *State) restore(u, v graph.VertexID, op float64) {
+	alpha := st.cfg.Alpha
+	iu, iv := int(u), int(v)
+	d := float64(st.g.OutDegree(u))
+	st.Counters.AddRestoreOps(1)
+
+	indicator := 0.0
+	if u == st.source {
+		indicator = alpha
+	}
+	if d == 0 {
+		// Deleting the last out-edge: the invariant reduces to
+		// P(u) + α·R(u) = α·1{u=s}.
+		st.r.Set(iu, (indicator-st.p.Get(iu))/alpha)
+		return
+	}
+	delta := ((1-alpha)*st.p.Get(iv) - st.p.Get(iu) - alpha*st.r.Get(iu) + indicator) / (alpha * d)
+	st.r.Set(iu, st.r.Get(iu)+op*delta)
+}
+
+// InvariantError returns the maximum absolute violation of Equation 2 over
+// all vertices. A correctly maintained state has an error within floating
+// point rounding of zero regardless of how large the residuals are.
+func (st *State) InvariantError() float64 {
+	alpha := st.cfg.Alpha
+	var worst float64
+	n := st.g.NumVertices()
+	for v := 0; v < n; v++ {
+		rhs := 0.0
+		if graph.VertexID(v) == st.source {
+			rhs = alpha
+		}
+		out := st.g.OutNeighbors(graph.VertexID(v))
+		if len(out) > 0 {
+			var sum float64
+			for _, x := range out {
+				sum += st.p.Get(int(x))
+			}
+			rhs += (1 - alpha) * sum / float64(len(out))
+		}
+		lhs := st.p.Get(v) + alpha*st.r.Get(v)
+		diff := lhs - rhs
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > worst {
+			worst = diff
+		}
+	}
+	return worst
+}
+
+// Converged reports whether every residual is within the error threshold.
+func (st *State) Converged() bool { return st.r.MaxAbs() <= st.cfg.Epsilon }
+
+// activeFrom filters the candidate vertices down to those whose residual
+// currently satisfies the push condition of the given phase. A nil candidate
+// list means "scan every vertex". Duplicate candidates are removed.
+func (st *State) activeFrom(candidates []graph.VertexID, phase phase) []int32 {
+	eps := st.cfg.Epsilon
+	var out []int32
+	if candidates == nil {
+		n := st.r.Len()
+		for v := 0; v < n; v++ {
+			if phase.cond(st.r.Get(v), eps) {
+				out = append(out, int32(v))
+			}
+		}
+		return out
+	}
+	seen := make(map[graph.VertexID]struct{}, len(candidates))
+	for _, v := range candidates {
+		if int(v) >= st.r.Len() || v < 0 {
+			continue
+		}
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		if phase.cond(st.r.Get(int(v)), eps) {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// The following mutators exist for Engine implementations living outside
+// this package (the vertex-centric baseline): they expose the estimate and
+// residual vectors with the same plain/atomic access discipline the built-in
+// engines use.
+
+// AddEstimate adds delta to P(v) without synchronization. Callers must ensure
+// v is owned by a single goroutine for the duration of the call.
+func (st *State) AddEstimate(v graph.VertexID, delta float64) {
+	st.p.Set(int(v), st.p.Get(int(v))+delta)
+}
+
+// AtomicResidual atomically reads R(v).
+func (st *State) AtomicResidual(v graph.VertexID) float64 {
+	return st.r.AtomicGet(int(v))
+}
+
+// AtomicAddResidual atomically adds delta to R(v) and returns the value held
+// immediately before the addition.
+func (st *State) AtomicAddResidual(v graph.VertexID, delta float64) (before float64) {
+	return st.r.AtomicAdd(int(v), delta)
+}
+
+// SwapResidual atomically replaces R(v) with x and returns the previous
+// value.
+func (st *State) SwapResidual(v graph.VertexID, x float64) float64 {
+	return st.r.AtomicSwap(int(v), x)
+}
+
+// ActiveVertices returns the vertices whose residual currently violates the
+// threshold for the positive (sign > 0) or negative (sign < 0) phase. It is
+// exported for out-of-package engines; candidates follow the same contract as
+// Engine.Run.
+func (st *State) ActiveVertices(candidates []graph.VertexID, sign int) []graph.VertexID {
+	ph := phasePositive
+	if sign < 0 {
+		ph = phaseNegative
+	}
+	raw := st.activeFrom(candidates, ph)
+	out := make([]graph.VertexID, len(raw))
+	for i, v := range raw {
+		out[i] = graph.VertexID(v)
+	}
+	return out
+}
+
+// phase distinguishes the positive-residual and negative-residual passes of
+// the local push.
+type phase int8
+
+const (
+	phasePositive phase = iota
+	phaseNegative
+)
+
+// cond is the pushCond predicate of the paper: r > ε in the positive phase,
+// r < −ε in the negative phase.
+func (p phase) cond(r, eps float64) bool {
+	if p == phasePositive {
+		return r > eps
+	}
+	return r < -eps
+}
+
+// Engine pushes a state to convergence. Implementations are the sequential
+// push (Algorithm 2), the parallel push variants (Algorithms 3 and 4) and the
+// vertex-centric baseline.
+type Engine interface {
+	// Name identifies the engine in experiment output.
+	Name() string
+	// Run performs local pushes until every residual is within ε.
+	// candidates, if non-nil, lists every vertex whose residual may exceed ε
+	// (for incremental maintenance this is the set of update endpoints);
+	// nil requests a full scan.
+	Run(st *State, candidates []graph.VertexID)
+}

@@ -1,0 +1,86 @@
+package vc
+
+import (
+	"fmt"
+
+	"dynppr/internal/graph"
+	"dynppr/internal/push"
+)
+
+// PPREngine runs the batch-dynamic PPR local push expressed in the
+// vertex-centric abstraction (the "Ligra" baseline of the evaluation). It
+// satisfies push.Engine, so the harness can drop it in wherever the
+// specialized engines run.
+//
+// Each push round is one VertexMap (self-update: take the residual, credit
+// the estimate) followed by one EdgeMap (neighbor propagation with
+// framework-level duplicate elimination). Because the abstraction is bulk
+// synchronous, the engine cannot read residual increments that arrive during
+// the same superstep (no eager propagation) and must pay the shared-bitmap
+// synchronization for frontier deduplication (no local duplicate detection).
+type PPREngine struct {
+	workers int
+}
+
+// NewPPREngine returns the vertex-centric PPR engine. workers <= 0 selects
+// GOMAXPROCS.
+func NewPPREngine(workers int) *PPREngine {
+	return &PPREngine{workers: workers}
+}
+
+// Name implements push.Engine.
+func (e *PPREngine) Name() string { return fmt.Sprintf("ligra-w%d", e.workers) }
+
+// Run implements push.Engine.
+func (e *PPREngine) Run(st *push.State, candidates []graph.VertexID) {
+	e.runPhase(st, candidates, +1)
+	e.runPhase(st, candidates, -1)
+}
+
+func (e *PPREngine) runPhase(st *push.State, candidates []graph.VertexID, sign int) {
+	g := st.Graph()
+	fw := NewFramework(g, e.workers)
+	n := g.NumVertices()
+	alpha := st.Alpha()
+	eps := st.Epsilon()
+
+	cond := func(r float64) bool {
+		if sign > 0 {
+			return r > eps
+		}
+		return r < -eps
+	}
+
+	frontier := NewSparseSubset(n, st.ActiveVertices(candidates, sign))
+	// pushed[u] carries the residual taken from u during the VertexMap of the
+	// current superstep, for use by the following EdgeMap.
+	pushed := make([]float64, n)
+
+	for !frontier.Empty() {
+		st.Counters.ObserveIteration(frontier.Size())
+		members := int64(frontier.Size())
+		st.Counters.AddPushes(members)
+
+		// Self-update as a VertexMap.
+		fw.VertexMap(frontier, func(u graph.VertexID) bool {
+			ru := st.SwapResidual(u, 0)
+			pushed[u] = ru
+			st.AddEstimate(u, alpha*ru)
+			return false
+		})
+
+		// Neighbor propagation as an EdgeMap over in-edges of the frontier.
+		next := fw.EdgeMap(frontier,
+			func(u, v graph.VertexID) bool {
+				inc := (1 - alpha) * pushed[u] / float64(g.OutDegree(v))
+				after := st.AtomicAddResidual(v, inc) + inc
+				st.Counters.AddPropagations(1)
+				st.Counters.AddAtomicAdds(1)
+				return cond(after)
+			},
+			func(v graph.VertexID) bool { return true },
+		)
+		st.Counters.AddEnqueues(int64(next.Size()))
+		frontier = next
+	}
+}

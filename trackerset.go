@@ -1,0 +1,141 @@
+package dynppr
+
+import (
+	"fmt"
+	"time"
+
+	"dynppr/internal/fp"
+	"dynppr/internal/graph"
+	"dynppr/internal/push"
+)
+
+// TrackerSet maintains PPR vectors for several source vertices over one
+// shared dynamic graph. This is the "general case" the paper defers to prior
+// work: a non-unit personalization vector is served by maintaining multiple
+// unit-vector PPR states. The graph is mutated once per update; every state
+// is notified and then pushed, with the per-source pushes themselves running
+// concurrently when the set is large.
+type TrackerSet struct {
+	g       *Graph
+	opts    Options
+	sources []VertexID
+	states  []*push.State
+	engines []push.Engine
+	// setWorkers bounds how many sources are pushed concurrently.
+	setWorkers int
+}
+
+// NewTrackerSet builds one tracker per source over the shared graph g and
+// brings each to convergence. Duplicate sources are rejected.
+func NewTrackerSet(g *Graph, sources []VertexID, opts Options) (*TrackerSet, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("dynppr: tracker set needs at least one source")
+	}
+	seen := make(map[VertexID]struct{}, len(sources))
+	for _, s := range sources {
+		if _, dup := seen[s]; dup {
+			return nil, fmt.Errorf("dynppr: duplicate source %d", s)
+		}
+		seen[s] = struct{}{}
+	}
+	ts := &TrackerSet{
+		g:          g,
+		opts:       opts,
+		sources:    append([]VertexID(nil), sources...),
+		setWorkers: fp.DefaultWorkers(),
+	}
+	for _, s := range sources {
+		engine, err := opts.buildEngine()
+		if err != nil {
+			return nil, err
+		}
+		st, err := push.NewState(g, s, push.Config{Alpha: opts.Alpha, Epsilon: opts.Epsilon})
+		if err != nil {
+			return nil, err
+		}
+		ts.states = append(ts.states, st)
+		ts.engines = append(ts.engines, engine)
+	}
+	// Cold-start every source.
+	fp.For(len(ts.states), ts.setWorkers, func(i int) {
+		ts.engines[i].Run(ts.states[i], []graph.VertexID{ts.sources[i]})
+	})
+	return ts, nil
+}
+
+// Sources returns the tracked source vertices in construction order.
+func (ts *TrackerSet) Sources() []VertexID {
+	return append([]VertexID(nil), ts.sources...)
+}
+
+// Graph returns the shared graph.
+func (ts *TrackerSet) Graph() *Graph { return ts.g }
+
+// Estimate returns the PPR estimate of v with respect to the given source.
+// It returns an error when the source is not tracked.
+func (ts *TrackerSet) Estimate(source, v VertexID) (float64, error) {
+	for i, s := range ts.sources {
+		if s == source {
+			return ts.states[i].Estimate(v), nil
+		}
+	}
+	return 0, fmt.Errorf("dynppr: source %d is not tracked", source)
+}
+
+// ApplyBatch applies the batch to the shared graph once, restores the
+// invariant of every tracked source, and pushes each source to convergence.
+func (ts *TrackerSet) ApplyBatch(b Batch) BatchResult {
+	start := time.Now()
+	applied := 0
+	touched := make([]graph.VertexID, 0, len(b))
+	for _, u := range b {
+		switch u.Op {
+		case Insert:
+			added, err := ts.g.AddEdge(u.U, u.V)
+			if err != nil || !added {
+				continue
+			}
+		case Delete:
+			if err := ts.g.RemoveEdge(u.U, u.V); err != nil {
+				continue
+			}
+		default:
+			continue
+		}
+		applied++
+		touched = append(touched, u.U)
+		for _, st := range ts.states {
+			if u.Op == Insert {
+				st.NoteInserted(u.U, u.V)
+			} else {
+				st.NoteDeleted(u.U, u.V)
+			}
+		}
+	}
+	var pushes int64
+	fp.For(len(ts.states), ts.setWorkers, func(i int) {
+		ts.engines[i].Run(ts.states[i], touched)
+	})
+	for _, st := range ts.states {
+		pushes += st.Counters.Snapshot().Pushes
+	}
+	return BatchResult{
+		Applied: applied,
+		Skipped: len(b) - applied,
+		Latency: time.Since(start),
+		Pushes:  pushes,
+	}
+}
+
+// Converged reports whether every tracked source is within Epsilon.
+func (ts *TrackerSet) Converged() bool {
+	for _, st := range ts.states {
+		if !st.Converged() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,70 @@
+package dynppr
+
+import (
+	"io"
+
+	"dynppr/internal/edgeio"
+	"dynppr/internal/gen"
+	"dynppr/internal/stream"
+)
+
+// Synthetic graph generation and streaming workloads, re-exported so
+// applications and examples can build realistic dynamic-graph scenarios
+// without touching internal packages.
+
+// GraphModel selects a synthetic random-graph model.
+type GraphModel = gen.Model
+
+// Available graph models.
+const (
+	// ModelErdosRenyi draws edge endpoints uniformly at random.
+	ModelErdosRenyi GraphModel = gen.ErdosRenyi
+	// ModelBarabasiAlbert grows a power-law graph by preferential attachment.
+	ModelBarabasiAlbert GraphModel = gen.BarabasiAlbert
+	// ModelRMAT generates power-law graphs by recursive quadrant sampling.
+	ModelRMAT GraphModel = gen.RMAT
+)
+
+// SyntheticConfig describes a synthetic graph to generate.
+type SyntheticConfig = gen.Config
+
+// GenerateGraph builds a synthetic graph.
+func GenerateGraph(cfg SyntheticConfig) (*Graph, error) { return gen.Generate(cfg) }
+
+// GenerateEdges builds only the edge list of a synthetic graph, for feeding a
+// Stream.
+func GenerateEdges(cfg SyntheticConfig) ([]Edge, error) { return gen.EdgeList(cfg) }
+
+// Stream is a replayable random-arrival-order edge sequence.
+type Stream = stream.Stream
+
+// NewStream assigns a random arrival order (driven by seed) to the edges.
+func NewStream(edges []Edge, seed int64) *Stream { return stream.NewStream(edges, seed) }
+
+// SlidingWindow replays a stream through a fixed-size window, producing
+// batches of insertions (arriving edges) and deletions (expiring edges).
+type SlidingWindow = stream.SlidingWindow
+
+// NewSlidingWindow initializes a window over the first initialFraction of the
+// stream and returns the initial window edges for building the starting
+// graph.
+func NewSlidingWindow(s *Stream, initialFraction float64) (*SlidingWindow, []Edge) {
+	return stream.NewSlidingWindow(s, initialFraction)
+}
+
+// ReadEdges parses a whitespace-separated "u v" edge list ('#' and '%'
+// comment lines are skipped), the format used by the SNAP archive and by the
+// cmd tools of this repository.
+func ReadEdges(r io.Reader) ([]Edge, error) { return edgeio.Read(r) }
+
+// WriteEdges writes edges in the "u v" text format.
+func WriteEdges(w io.Writer, edges []Edge) error { return edgeio.Write(w, edges) }
+
+// LoadEdges reads an edge list file.
+func LoadEdges(path string) ([]Edge, error) { return edgeio.LoadFile(path) }
+
+// SaveEdges writes an edge list file.
+func SaveEdges(path string, edges []Edge) error { return edgeio.SaveFile(path, edges) }
+
+// LoadGraph reads an edge list file and builds a graph from it.
+func LoadGraph(path string) (*Graph, error) { return edgeio.LoadGraph(path) }
