@@ -1,0 +1,192 @@
+// Command dppr-serve demonstrates the concurrent serving layer: it builds a
+// Service over a synthetic graph, streams sliding-window update batches
+// through the write pipeline, and hammers the read path from a pool of query
+// goroutines at the same time — then reports write latency, read throughput
+// and the per-source serving statistics.
+//
+// Usage:
+//
+//	dppr-serve -dataset youtube -sources 4 -readers 8 -batch 200 -slides 30
+//	dppr-serve -vertices 5000 -edges 100000 -engine sequential -epsilon 1e-5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynppr"
+	"dynppr/internal/gen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dppr-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dppr-serve", flag.ContinueOnError)
+	var (
+		dataset  = fs.String("dataset", "youtube", "named dataset from the catalog")
+		vertices = fs.Int("vertices", 0, "override: generate an RMAT graph with this many vertices")
+		edges    = fs.Int("edges", 0, "override: number of edges for the generated graph")
+		sources  = fs.Int("sources", 4, "number of top-degree sources to serve")
+		batch    = fs.Int("batch", 100, "edges inserted (and deleted) per window slide")
+		slides   = fs.Int("slides", 20, "number of window slides to stream")
+		readers  = fs.Int("readers", 4, "query goroutines hammering the read path")
+		epsilon  = fs.Float64("epsilon", 1e-6, "error threshold")
+		engine   = fs.String("engine", "parallel", "engine: parallel, sequential, vertex-centric")
+		workers  = fs.Int("workers", 0, "per-source push workers (0 = GOMAXPROCS)")
+		pool     = fs.Int("pool", 0, "shard pool size (0 = GOMAXPROCS)")
+		topK     = fs.Int("top", 5, "number of top-ranked vertices to print per source")
+		seed     = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := resolveConfig(*dataset, *vertices, *edges, *seed)
+	if err != nil {
+		return err
+	}
+	edgeList, err := dynppr.GenerateEdges(cfg)
+	if err != nil {
+		return err
+	}
+	if len(edgeList) == 0 {
+		return fmt.Errorf("no edges in the input stream")
+	}
+	stream := dynppr.NewStream(edgeList, *seed)
+	window, initial := dynppr.NewSlidingWindow(stream, 0.1)
+	g := dynppr.GraphFromEdges(initial)
+	if *sources < 1 {
+		*sources = 1
+	}
+	tracked := g.TopDegreeVertices(*sources)
+	// NewService takes ownership of g, so capture everything the readers
+	// need from it up front.
+	numVertices := g.NumVertices()
+
+	so := dynppr.DefaultServiceOptions()
+	so.Options.Epsilon = *epsilon
+	so.Options.Workers = *workers
+	so.PoolWorkers = *pool
+	switch *engine {
+	case "parallel":
+		so.Options.Engine = dynppr.EngineParallel
+	case "sequential":
+		so.Options.Engine = dynppr.EngineSequential
+	case "vertex-centric":
+		so.Options.Engine = dynppr.EngineVertexCentric
+	default:
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+
+	fmt.Fprintf(out, "dataset=%s vertices=%d window=%d sources=%v engine=%s epsilon=%.0e readers=%d\n",
+		cfg.Name, g.NumVertices(), window.Size(), tracked, so.Options.Engine, so.Options.Epsilon, *readers)
+
+	start := time.Now()
+	svc, err := dynppr.NewService(g, tracked, so)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	fmt.Fprintf(out, "cold start: %d sources converged and published in %v\n",
+		len(tracked), time.Since(start).Round(time.Microsecond))
+
+	// Query pool: each goroutine hammers random reads until the stream ends.
+	stop := make(chan struct{})
+	var queries atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < *readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(r)))
+			n := numVertices
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				src := tracked[rng.Intn(len(tracked))]
+				var err error
+				if rng.Intn(2) == 0 {
+					_, err = svc.Estimate(src, dynppr.VertexID(rng.Intn(n)))
+				} else {
+					_, err = svc.TopK(src, 10)
+				}
+				if err != nil {
+					return
+				}
+				queries.Add(1)
+			}
+		}(r)
+	}
+
+	streamStart := time.Now()
+	var applied int
+	for i := 0; i < *slides; i++ {
+		b := window.Slide(*batch)
+		if len(b) == 0 {
+			fmt.Fprintln(out, "stream exhausted")
+			break
+		}
+		res, err := svc.ApplyBatch(b)
+		if err != nil {
+			return err
+		}
+		applied += res.Applied
+		fmt.Fprintf(out, "slide %3d: updates=%4d latency=%-12v pushes=%-8d queue=%d\n",
+			i+1, res.Applied, res.Latency.Round(time.Microsecond), res.Pushes, svc.Stats().QueueDepth)
+	}
+	streamed := time.Since(streamStart)
+	close(stop)
+	wg.Wait()
+
+	stats := svc.Stats()
+	fmt.Fprintf(out, "writes: %d batches, %d updates, avg batch latency %v\n",
+		stats.Batches, stats.UpdatesApplied, stats.AvgBatchLatency().Round(time.Microsecond))
+	if streamed > 0 {
+		fmt.Fprintf(out, "reads:  %d queries served concurrently (%.0f queries/sec)\n",
+			queries.Load(), float64(queries.Load())/streamed.Seconds())
+	}
+	fmt.Fprintln(out, "per-source serving stats:")
+	for _, ss := range stats.Sources {
+		fmt.Fprintf(out, "  source %-8d shard %d epoch %-5d pushes %-10d residual %.2e\n",
+			ss.Source, ss.Shard, ss.Epoch, ss.Pushes, ss.MaxResidual)
+	}
+	for _, src := range tracked[:1] {
+		top, err := svc.TopK(src, *topK)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "top-%d vertices by PPR towards %d:\n", *topK, src)
+		for _, vs := range top {
+			fmt.Fprintf(out, "  vertex %-8d score %.6f\n", vs.Vertex, vs.Score)
+		}
+	}
+	return nil
+}
+
+func resolveConfig(dataset string, vertices, edges int, seed int64) (dynppr.SyntheticConfig, error) {
+	if vertices > 0 && edges > 0 {
+		return dynppr.SyntheticConfig{
+			Name: "custom-rmat", Model: dynppr.ModelRMAT,
+			Vertices: vertices, Edges: edges, Seed: seed,
+		}, nil
+	}
+	d, err := gen.DatasetByName(dataset)
+	if err != nil {
+		return dynppr.SyntheticConfig{}, err
+	}
+	return d.Config, nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dynppr"
+)
+
+func TestResolveConfigServe(t *testing.T) {
+	cfg, err := resolveConfig("youtube", 0, 0, 1)
+	if err != nil || cfg.Name != "youtube" {
+		t.Fatalf("dataset lookup failed: %+v, %v", cfg, err)
+	}
+	cfg, err = resolveConfig("ignored", 100, 500, 7)
+	if err != nil || cfg.Vertices != 100 || cfg.Edges != 500 || cfg.Model != dynppr.ModelRMAT {
+		t.Fatalf("override failed: %+v, %v", cfg, err)
+	}
+	if _, err := resolveConfig("no-such", 0, 0, 1); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+}
+
+func TestServeRun(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-vertices", "300", "-edges", "3000", "-sources", "3", "-readers", "2",
+		"-batch", "20", "-slides", "3", "-epsilon", "1e-4", "-engine", "sequential",
+		"-top", "3",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"cold start", "slide   1", "writes:", "reads:",
+		"per-source serving stats", "top-3 vertices",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeRunEngines(t *testing.T) {
+	for _, engine := range []string{"parallel", "vertex-centric"} {
+		var buf bytes.Buffer
+		err := run([]string{
+			"-vertices", "200", "-edges", "1500", "-sources", "2", "-readers", "1",
+			"-batch", "10", "-slides", "2", "-epsilon", "1e-3", "-engine", engine,
+		}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+	}
+}
+
+func TestServeRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-engine", "warp-drive", "-vertices", "10", "-edges", "20"}, &buf); err == nil {
+		t.Fatal("unknown engine must fail")
+	}
+	if err := run([]string{"-dataset", "no-such"}, &buf); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+	if err := run([]string{"-vertices", "10", "-edges", "20", "-epsilon", "0"}, &buf); err == nil {
+		t.Fatal("invalid epsilon must fail")
+	}
+}

@@ -1,0 +1,196 @@
+package dynppr_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dynppr"
+	"dynppr/internal/graph"
+	"dynppr/internal/power"
+)
+
+// engineConfig names one engine/variant combination under differential test.
+type engineConfig struct {
+	name    string
+	engine  dynppr.EngineKind
+	variant dynppr.Variant
+}
+
+func allEngineConfigs() []engineConfig {
+	return []engineConfig{
+		{"sequential", dynppr.EngineSequential, dynppr.VariantOpt},
+		{"parallel-opt", dynppr.EngineParallel, dynppr.VariantOpt},
+		{"parallel-eager", dynppr.EngineParallel, dynppr.VariantEager},
+		{"parallel-dupdetect", dynppr.EngineParallel, dynppr.VariantDupDetect},
+		{"parallel-vanilla", dynppr.EngineParallel, dynppr.VariantVanilla},
+		{"vertex-centric", dynppr.EngineVertexCentric, dynppr.VariantOpt},
+	}
+}
+
+// randomUpdateStream builds a deterministic mixed insert/delete stream: each
+// batch draws inserts from the edge universe (duplicates possible) and
+// deletes from the edges inserted so far (misses possible), so the engines
+// also see the no-op paths.
+func randomUpdateStream(universe []dynppr.Edge, seed int64, batches, batchSize int) []dynppr.Batch {
+	rng := rand.New(rand.NewSource(seed))
+	var present []dynppr.Edge
+	out := make([]dynppr.Batch, 0, batches)
+	for b := 0; b < batches; b++ {
+		batch := make(dynppr.Batch, 0, batchSize)
+		for i := 0; i < batchSize; i++ {
+			if len(present) > 0 && rng.Intn(3) == 0 {
+				e := present[rng.Intn(len(present))]
+				batch = append(batch, dynppr.Update{U: e.U, V: e.V, Op: dynppr.Delete})
+			} else {
+				e := universe[rng.Intn(len(universe))]
+				batch = append(batch, dynppr.Update{U: e.U, V: e.V, Op: dynppr.Insert})
+				present = append(present, e)
+			}
+		}
+		out = append(out, batch)
+	}
+	return out
+}
+
+// TestDifferentialEngines replays identical random insert/delete streams on
+// every engine/variant combination over ER, BA and RMAT graphs (fixed seeds)
+// and asserts that (a) all engines agree with the sequential reference
+// within 2ε after every batch, and (b) every engine agrees with the exact
+// power-iteration oracle within ε at the end.
+func TestDifferentialEngines(t *testing.T) {
+	const (
+		epsilon   = 1e-5
+		batches   = 4
+		batchSize = 60
+	)
+	models := []struct {
+		name  string
+		model dynppr.GraphModel
+		seed  int64
+	}{
+		{"erdos-renyi", dynppr.ModelErdosRenyi, 17},
+		{"barabasi-albert", dynppr.ModelBarabasiAlbert, 23},
+		{"rmat", dynppr.ModelRMAT, 31},
+	}
+	for _, m := range models {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			universe, err := dynppr.GenerateEdges(dynppr.SyntheticConfig{
+				Model: m.model, Vertices: 120, Edges: 700, Seed: m.seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			initial := universe[:400]
+			source := dynppr.GraphFromEdges(initial).TopDegreeVertices(1)[0]
+			stream := randomUpdateStream(universe, m.seed+1000, batches, batchSize)
+
+			configs := allEngineConfigs()
+			trackers := make([]*dynppr.Tracker, len(configs))
+			for i, c := range configs {
+				opts := dynppr.DefaultOptions()
+				opts.Engine = c.engine
+				opts.Variant = c.variant
+				opts.Epsilon = epsilon
+				opts.Workers = 2
+				tr, err := dynppr.NewTracker(dynppr.GraphFromEdges(initial), source, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", c.name, err)
+				}
+				trackers[i] = tr
+			}
+
+			for b, batch := range stream {
+				for i, tr := range trackers {
+					res := tr.ApplyBatch(batch)
+					if !tr.Converged() {
+						t.Fatalf("%s: not converged after batch %d (%+v)", configs[i].name, b, res)
+					}
+				}
+				// All engines processed the same updates, so their graphs
+				// must match the reference exactly...
+				ref := trackers[0]
+				for i, tr := range trackers[1:] {
+					if tr.Graph().NumEdges() != ref.Graph().NumEdges() {
+						t.Fatalf("%s: edge count diverged after batch %d", configs[i+1].name, b)
+					}
+				}
+				// ...and their estimates must agree within 2ε.
+				refEst := ref.Estimates()
+				for i, tr := range trackers[1:] {
+					est := tr.Estimates()
+					if len(est) != len(refEst) {
+						t.Fatalf("%s: vector length %d vs %d after batch %d",
+							configs[i+1].name, len(est), len(refEst), b)
+					}
+					for v := range est {
+						if d := math.Abs(est[v] - refEst[v]); d > 2*epsilon {
+							t.Fatalf("%s: batch %d vertex %d differs from sequential by %v",
+								configs[i+1].name, b, v, d)
+						}
+					}
+				}
+			}
+
+			// Final cross-check against the exact oracle.
+			oracle, err := power.ReverseGraph(trackers[0].Graph(), source, power.Options{
+				Alpha: 0.15, Tolerance: 1e-13, MaxIterations: 20_000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, tr := range trackers {
+				est := tr.Estimates()
+				var worst float64
+				for v := range est {
+					if d := math.Abs(est[v] - oracle[v]); d > worst {
+						worst = d
+					}
+				}
+				if worst > epsilon {
+					t.Fatalf("%s: max error vs oracle %v exceeds ε %v", configs[i].name, worst, epsilon)
+				}
+				if err := tr.Graph().CheckConsistency(); err != nil {
+					t.Fatalf("%s: %v", configs[i].name, err)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialInvariant checks the structural property the scheme rests
+// on: after arbitrary mixed batches, Equation 2 holds at every vertex for
+// every engine (the invariant error stays at floating-point noise even
+// though residuals are only bounded by ε).
+func TestDifferentialInvariant(t *testing.T) {
+	universe, err := dynppr.GenerateEdges(dynppr.SyntheticConfig{
+		Model: dynppr.ModelRMAT, Vertices: 100, Edges: 500, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := randomUpdateStream(universe, 77, 3, 50)
+	for _, c := range allEngineConfigs() {
+		g := graph.FromEdges(nil)
+		opts := dynppr.DefaultOptions()
+		opts.Engine = c.engine
+		opts.Variant = c.variant
+		opts.Epsilon = 1e-4
+		opts.Workers = 2
+		tr, err := dynppr.NewTracker(g, 0, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		for _, b := range stream {
+			tr.ApplyBatch(b)
+		}
+		maxErr, err := tr.ExactError()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if maxErr > opts.Epsilon {
+			t.Fatalf("%s: exact error %v exceeds ε", c.name, maxErr)
+		}
+	}
+}

@@ -32,11 +32,15 @@
 //		{U: 1, V: 2, Op: dynppr.Delete},
 //	})
 //	fmt.Println(tr.Estimate(4))
+//
+// Tracker and TrackerSet are single-goroutine types. To serve queries from
+// many goroutines while an update stream is applied, use Service: it shards
+// multiple sources across a worker pool, serializes writes through one
+// pipeline, and answers reads lock-free from converged snapshots.
 package dynppr
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"dynppr/internal/fp"
@@ -214,8 +218,11 @@ type BatchResult struct {
 }
 
 // Tracker maintains an ε-approximate PPR vector for one source vertex over a
-// dynamic graph. It is not safe for concurrent use; apply batches from one
-// goroutine (the engine parallelizes internally).
+// dynamic graph. A Tracker by itself is not safe for concurrent use — apply
+// batches and issue queries from one goroutine (the engine parallelizes
+// internally). To serve queries concurrently with a live update stream, wrap
+// the same state in a Service, which decouples lock-free snapshot reads from
+// a serialized write pipeline.
 type Tracker struct {
 	st     *push.State
 	engine push.Engine
@@ -331,24 +338,7 @@ type VertexScore struct {
 // TopK returns the k vertices with the largest PPR estimates, descending
 // (ties broken by ascending vertex id). The source itself is included.
 func (t *Tracker) TopK(k int) []VertexScore {
-	est := t.st.Estimates()
-	if k > len(est) {
-		k = len(est)
-	}
-	if k <= 0 {
-		return nil
-	}
-	scores := make([]VertexScore, len(est))
-	for v, s := range est {
-		scores[v] = VertexScore{Vertex: VertexID(v), Score: s}
-	}
-	sort.Slice(scores, func(i, j int) bool {
-		if scores[i].Score != scores[j].Score {
-			return scores[i].Score > scores[j].Score
-		}
-		return scores[i].Vertex < scores[j].Vertex
-	})
-	return scores[:k]
+	return topKScores(t.st.Estimates(), k)
 }
 
 // ExactError computes the exact contribution PPR vector of the current graph

@@ -1,0 +1,3 @@
+module dynppr
+
+go 1.24

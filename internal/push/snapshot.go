@@ -1,0 +1,154 @@
+package push
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"dynppr/internal/graph"
+)
+
+// Snapshot is an immutable, converged copy of one source's estimate vector,
+// published by a push worker after the engine has driven every residual
+// within ε. Readers obtain a Snapshot from a SnapshotSlot and may read it
+// freely: its contents never change while it is published.
+//
+// A Snapshot additionally records the epoch (how many publications preceded
+// it) and the maximum absolute residual measured at publication time, so a
+// reader can verify the convergence contract (MaxResidual ≤ ε) without
+// touching the live, mutating state.
+type Snapshot struct {
+	source      graph.VertexID
+	epoch       uint64
+	estimates   []float64
+	maxResidual float64
+	epsilon     float64
+
+	// readers counts in-flight readers of this snapshot; the publisher
+	// spin-waits for it to drain before recycling the buffer.
+	readers atomic.Int64
+}
+
+// Source returns the source vertex the snapshot belongs to.
+func (s *Snapshot) Source() graph.VertexID { return s.source }
+
+// Epoch returns the publication sequence number (1 for the cold-start
+// publication, incremented by one on every subsequent publish).
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// MaxResidual returns the L∞ residual norm measured when the snapshot was
+// published. A correctly published snapshot has MaxResidual ≤ Epsilon.
+func (s *Snapshot) MaxResidual() float64 { return s.maxResidual }
+
+// Epsilon returns the error threshold the snapshot was converged to.
+func (s *Snapshot) Epsilon() float64 { return s.epsilon }
+
+// Converged reports whether the snapshot honoured the convergence contract
+// at publication time.
+func (s *Snapshot) Converged() bool { return s.maxResidual <= s.epsilon }
+
+// NumVertices returns the length of the estimate vector.
+func (s *Snapshot) NumVertices() int { return len(s.estimates) }
+
+// Estimate returns the PPR estimate of v (0 for out-of-range vertices).
+func (s *Snapshot) Estimate(v graph.VertexID) float64 {
+	if v < 0 || int(v) >= len(s.estimates) {
+		return 0
+	}
+	return s.estimates[int(v)]
+}
+
+// Estimates returns a copy of the estimate vector.
+func (s *Snapshot) Estimates() []float64 {
+	return append([]float64(nil), s.estimates...)
+}
+
+// RawEstimates returns the snapshot's backing vector without copying. The
+// caller must treat it as read-only and must not retain it past Release.
+func (s *Snapshot) RawEstimates() []float64 { return s.estimates }
+
+// Release ends a read begun by SnapshotSlot.Acquire. Every Acquire must be
+// paired with exactly one Release; the snapshot must not be read afterwards.
+func (s *Snapshot) Release() { s.readers.Add(-1) }
+
+// SnapshotSlot is the double-buffered publication point between one push
+// worker and any number of concurrent readers. The worker alternates between
+// two Snapshot buffers: while one is published (visible to readers through an
+// atomic pointer), the other is rewritten with the freshly converged state
+// and then published with a single atomic store. Readers therefore always
+// observe a complete, converged vector — never a mid-push intermediate.
+//
+// Publish is single-producer: only one goroutine may publish to a slot at a
+// time (the Service pins each source to one shard worker). Acquire/Release
+// may be called from any number of goroutines concurrently with Publish.
+type SnapshotSlot struct {
+	cur  atomic.Pointer[Snapshot]
+	bufs [2]*Snapshot
+	// next indexes the buffer the next Publish will write (the one that is
+	// not currently published). Only the publishing goroutine touches it.
+	next  int
+	epoch uint64
+}
+
+// NewSnapshotSlot returns an empty slot; Acquire returns nil until the first
+// Publish.
+func NewSnapshotSlot() *SnapshotSlot {
+	return &SnapshotSlot{bufs: [2]*Snapshot{{}, {}}}
+}
+
+// Publish copies the state's estimate vector into the spare buffer, records
+// the residual norm, and atomically swaps the buffer in as the current
+// snapshot. It must only be called after the engine has converged st, and
+// only from the single goroutine that owns the slot's write side.
+//
+// Recycling the spare buffer waits for stragglers: a reader that acquired
+// the buffer during its previous publication may still be reading it, so
+// Publish spins until the buffer's reader count drains to zero. Readers hold
+// snapshots only for the duration of one query, so the wait is bounded and
+// short.
+func (sl *SnapshotSlot) Publish(st *State) *Snapshot {
+	spare := sl.bufs[sl.next]
+	for spare.readers.Load() != 0 {
+		runtime.Gosched()
+	}
+	spare.source = st.Source()
+	spare.estimates = st.FillEstimates(spare.estimates)
+	spare.maxResidual = st.MaxResidual()
+	spare.epsilon = st.Epsilon()
+	sl.epoch++
+	spare.epoch = sl.epoch
+	sl.cur.Store(spare)
+	sl.next ^= 1
+	return spare
+}
+
+// Acquire returns the currently published snapshot with a read hold on it,
+// or nil if nothing has been published yet. The caller must call Release on
+// the returned snapshot when done and must not retain it afterwards.
+//
+// The implementation is the increment-then-validate hazard protocol: the
+// reader registers on the snapshot it loaded and re-checks that it is still
+// the published one. If publication moved on in between, the registration is
+// undone and the load retried, so a reader can never hold a buffer the
+// publisher has started rewriting.
+func (sl *SnapshotSlot) Acquire() *Snapshot {
+	for {
+		s := sl.cur.Load()
+		if s == nil {
+			return nil
+		}
+		s.readers.Add(1)
+		if sl.cur.Load() == s {
+			return s
+		}
+		s.readers.Add(-1)
+	}
+}
+
+// Epoch returns the sequence number of the most recent publication (0 before
+// the first). It is safe to call concurrently with Publish.
+func (sl *SnapshotSlot) Epoch() uint64 {
+	if s := sl.cur.Load(); s != nil {
+		return s.epoch
+	}
+	return 0
+}

@@ -127,6 +127,22 @@ func (st *State) Residual(v graph.VertexID) float64 {
 // Estimates returns a copy of the estimate vector.
 func (st *State) Estimates() []float64 { return st.p.Snapshot() }
 
+// FillEstimates copies the estimate vector into dst, growing it if needed,
+// and returns the filled slice. It exists for the snapshot publication path
+// (SnapshotSlot.Publish), which recycles buffers instead of allocating a
+// fresh copy per publication.
+func (st *State) FillEstimates(dst []float64) []float64 {
+	n := st.p.Len()
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = st.p.Get(i)
+	}
+	return dst
+}
+
 // Residuals returns a copy of the residual vector.
 func (st *State) Residuals() []float64 { return st.r.Snapshot() }
 

@@ -1,0 +1,654 @@
+package dynppr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynppr/internal/fp"
+	"dynppr/internal/graph"
+	"dynppr/internal/push"
+)
+
+// Service is a concurrent multi-source PPR serving layer: it keeps an
+// ε-approximate PPR vector per tracked source over one shared dynamic graph,
+// accepts edge-update batches while queries are in flight, and serves reads
+// lock-free from converged snapshots.
+//
+// # Concurrency contract
+//
+// Writes and reads are decoupled:
+//
+//   - All mutation — ApplyBatch, AddSource, RemoveSource — flows through a
+//     single internal pipeline goroutine, so the graph only ever changes on
+//     one goroutine. Mutating calls are safe to issue from any number of
+//     goroutines; they are serialized in arrival order and block until their
+//     effect is complete and published.
+//
+//   - Per-source push work is sharded across a fixed pool of workers: every
+//     source is pinned to one shard worker, which restores the source state
+//     after each batch, runs the push engine to convergence, and then
+//     publishes a fresh snapshot with one atomic pointer swap.
+//
+//   - Reads — Estimate, Estimates, TopK, Info — are lock-free: they load the
+//     source's current snapshot through an atomic pointer and read immutable
+//     data. A snapshot is only published after its push has converged, so a
+//     read can never observe a mid-push, non-converged vector; during a
+//     batch, reads simply keep serving the previous converged state. Each
+//     source's snapshots are double-buffered, and the publisher waits for
+//     straggling readers before recycling a buffer.
+//
+// Consequently every read reflects the graph as of some completed batch
+// (monotonically advancing per source), never a partially applied one.
+type Service struct {
+	opts ServiceOptions
+
+	// table is the copy-on-write source directory readers go through. The
+	// map it points to is immutable; mutators build a new map and swap the
+	// pointer.
+	table atomic.Pointer[sourceTable]
+
+	work    chan func()
+	closeMu sync.RWMutex
+	closed  bool
+	done    chan struct{}
+
+	// Pipeline-owned state (touched only on the pipeline goroutine after
+	// construction).
+	g        *Graph
+	shards   [][]*serviceSource
+	shardCh  []chan shardJob
+	workerWG sync.WaitGroup
+
+	// Aggregate statistics, updated by the pipeline, read by Stats.
+	batches      atomic.Int64
+	applied      atomic.Int64
+	skipped      atomic.Int64
+	lastLatency  atomic.Int64 // nanoseconds
+	totalLatency atomic.Int64 // nanoseconds
+	vertices     atomic.Int64
+	edges        atomic.Int64
+}
+
+type sourceTable map[VertexID]*serviceSource
+
+// serviceSource is one tracked source: its push state, engine, and snapshot
+// publication slot. The state and engine are owned by the source's shard
+// worker (and by the pipeline goroutine during AddSource cold start); the
+// slot is the read/write boundary.
+type serviceSource struct {
+	source VertexID
+	shard  int
+	st     *push.State
+	engine push.Engine
+	slot   *push.SnapshotSlot
+}
+
+type shardJob struct {
+	sources []*serviceSource
+	touched []graph.VertexID
+	wg      *sync.WaitGroup
+}
+
+// ServiceOptions configure a Service.
+type ServiceOptions struct {
+	// Options are the per-source tracking options (α, ε, engine, variant).
+	// Options.Workers bounds the parallelism inside one source's push.
+	Options Options
+	// PoolWorkers is the number of shard workers pushing sources
+	// concurrently; <= 0 selects GOMAXPROCS.
+	PoolWorkers int
+	// QueueDepth is the capacity of the write pipeline; further mutating
+	// calls block (backpressure). <= 0 selects 64.
+	QueueDepth int
+}
+
+// DefaultServiceOptions returns the default tracking options with a
+// GOMAXPROCS-sized shard pool.
+func DefaultServiceOptions() ServiceOptions {
+	return ServiceOptions{Options: DefaultOptions()}
+}
+
+// Service errors.
+var (
+	// ErrUnknownSource is returned by reads for a source that is not (or no
+	// longer) tracked.
+	ErrUnknownSource = errors.New("dynppr: source is not tracked")
+	// ErrServiceClosed is returned by every operation after Close.
+	ErrServiceClosed = errors.New("dynppr: service is closed")
+)
+
+// NewService builds a serving layer over g tracking the given sources,
+// cold-starts every source to convergence, publishes their first snapshots,
+// and starts the write pipeline and shard workers. The service takes
+// ownership of g: the caller must not read or mutate it afterwards.
+// Close must be called to release the worker goroutines.
+func NewService(g *Graph, sources []VertexID, so ServiceOptions) (*Service, error) {
+	if err := so.Options.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateSources(sources); err != nil {
+		return nil, err
+	}
+	if so.PoolWorkers <= 0 {
+		so.PoolWorkers = fp.DefaultWorkers()
+	}
+	if so.QueueDepth <= 0 {
+		so.QueueDepth = 64
+	}
+
+	svc := &Service{
+		opts:    so,
+		g:       g,
+		work:    make(chan func(), so.QueueDepth),
+		done:    make(chan struct{}),
+		shards:  make([][]*serviceSource, so.PoolWorkers),
+		shardCh: make([]chan shardJob, so.PoolWorkers),
+	}
+
+	table := make(sourceTable, len(sources))
+	cfg := push.Config{Alpha: so.Options.Alpha, Epsilon: so.Options.Epsilon}
+	all := make([]*serviceSource, 0, len(sources))
+	for i, s := range sources {
+		engine, err := so.Options.buildEngine()
+		if err != nil {
+			return nil, err
+		}
+		st, err := push.NewState(g, s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		src := &serviceSource{
+			source: s,
+			shard:  i % so.PoolWorkers,
+			st:     st,
+			engine: engine,
+			slot:   push.NewSnapshotSlot(),
+		}
+		svc.shards[src.shard] = append(svc.shards[src.shard], src)
+		table[s] = src
+		all = append(all, src)
+	}
+	// Cold-start every source in parallel and publish the first snapshots.
+	fp.For(len(all), so.PoolWorkers, func(i int) {
+		src := all[i]
+		src.engine.Run(src.st, []graph.VertexID{src.source})
+		src.slot.Publish(src.st)
+	})
+	svc.table.Store(&table)
+	svc.vertices.Store(int64(g.NumVertices()))
+	svc.edges.Store(int64(g.NumEdges()))
+
+	for i := range svc.shardCh {
+		svc.shardCh[i] = make(chan shardJob)
+		svc.workerWG.Add(1)
+		go svc.shardWorker(svc.shardCh[i])
+	}
+	go svc.pipeline()
+	return svc, nil
+}
+
+// pipeline is the single goroutine every mutation flows through.
+func (s *Service) pipeline() {
+	defer close(s.done)
+	for fn := range s.work {
+		fn()
+	}
+	for _, ch := range s.shardCh {
+		close(ch)
+	}
+	s.workerWG.Wait()
+}
+
+// shardWorker pushes its shard's sources to convergence after each batch and
+// publishes their snapshots.
+func (s *Service) shardWorker(ch chan shardJob) {
+	defer s.workerWG.Done()
+	for job := range ch {
+		for _, src := range job.sources {
+			src.engine.Run(src.st, job.touched)
+			src.slot.Publish(src.st)
+		}
+		job.wg.Done()
+	}
+}
+
+// submit enqueues a mutation on the pipeline, blocking when the queue is
+// full.
+func (s *Service) submit(fn func()) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrServiceClosed
+	}
+	s.work <- fn
+	return nil
+}
+
+// Close shuts the service down: queued mutations finish, the pipeline and
+// shard workers exit, and every subsequent operation returns
+// ErrServiceClosed. Reads racing with Close may still succeed against the
+// last published snapshots. Close is idempotent.
+func (s *Service) Close() error {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.work)
+	s.closeMu.Unlock()
+	<-s.done
+	return nil
+}
+
+// ApplyBatch applies a batch of edge updates to the shared graph, restores
+// every tracked source, pushes each to convergence on the shard pool, and
+// publishes fresh snapshots — all before returning. Concurrent callers are
+// serialized by the pipeline; concurrent readers keep being served from the
+// previous snapshots until the new ones are published.
+func (s *Service) ApplyBatch(b Batch) (BatchResult, error) {
+	res := make(chan BatchResult, 1)
+	if err := s.submit(func() { res <- s.doBatch(b) }); err != nil {
+		return BatchResult{}, err
+	}
+	return <-res, nil
+}
+
+func (s *Service) doBatch(b Batch) BatchResult {
+	start := time.Now()
+	sources := s.allSources()
+	var before int64
+	for _, src := range sources {
+		before += src.st.Counters.Snapshot().Pushes
+	}
+	states := make([]*push.State, len(sources))
+	for i, src := range sources {
+		states[i] = src.st
+	}
+	applied, touched := applyBatchNotify(s.g, states, b)
+	if applied > 0 {
+		var wg sync.WaitGroup
+		for i, shard := range s.shards {
+			if len(shard) == 0 {
+				continue
+			}
+			wg.Add(1)
+			s.shardCh[i] <- shardJob{sources: shard, touched: touched, wg: &wg}
+		}
+		wg.Wait()
+	}
+	var after int64
+	for _, src := range sources {
+		after += src.st.Counters.Snapshot().Pushes
+	}
+	latency := time.Since(start)
+	s.batches.Add(1)
+	s.applied.Add(int64(applied))
+	s.skipped.Add(int64(len(b) - applied))
+	s.lastLatency.Store(int64(latency))
+	s.totalLatency.Add(int64(latency))
+	s.vertices.Store(int64(s.g.NumVertices()))
+	s.edges.Store(int64(s.g.NumEdges()))
+	return BatchResult{
+		Applied: applied,
+		Skipped: len(b) - applied,
+		Latency: latency,
+		Pushes:  after - before,
+	}
+}
+
+func (s *Service) allSources() []*serviceSource {
+	var out []*serviceSource
+	for _, shard := range s.shards {
+		out = append(out, shard...)
+	}
+	return out
+}
+
+// AddSource starts tracking a new source: its state is cold-started on the
+// current graph and its first snapshot published before the call returns.
+// Readers of existing sources are never blocked; the new source becomes
+// visible to reads atomically once converged. Adding an already tracked
+// source is an error.
+func (s *Service) AddSource(source VertexID) error {
+	res := make(chan error, 1)
+	if err := s.submit(func() { res <- s.doAddSource(source) }); err != nil {
+		return err
+	}
+	return <-res
+}
+
+func (s *Service) doAddSource(source VertexID) error {
+	old := *s.table.Load()
+	if _, dup := old[source]; dup {
+		return fmt.Errorf("dynppr: source %d is already tracked", source)
+	}
+	engine, err := s.opts.Options.buildEngine()
+	if err != nil {
+		return err
+	}
+	st, err := push.NewState(s.g, source, push.Config{
+		Alpha: s.opts.Options.Alpha, Epsilon: s.opts.Options.Epsilon,
+	})
+	if err != nil {
+		return err
+	}
+	// Pin the new source to the least loaded shard.
+	shard := 0
+	for i := 1; i < len(s.shards); i++ {
+		if len(s.shards[i]) < len(s.shards[shard]) {
+			shard = i
+		}
+	}
+	src := &serviceSource{source: source, shard: shard, st: st, engine: engine, slot: push.NewSnapshotSlot()}
+	src.engine.Run(src.st, []graph.VertexID{source})
+	src.slot.Publish(src.st)
+	s.shards[shard] = append(s.shards[shard], src)
+	next := make(sourceTable, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[source] = src
+	s.table.Store(&next)
+	s.vertices.Store(int64(s.g.NumVertices()))
+	return nil
+}
+
+// RemoveSource stops tracking a source and frees its state. In-flight reads
+// that already acquired the source's snapshot complete normally; subsequent
+// reads return ErrUnknownSource. Removing an untracked source is an error.
+func (s *Service) RemoveSource(source VertexID) error {
+	res := make(chan error, 1)
+	if err := s.submit(func() { res <- s.doRemoveSource(source) }); err != nil {
+		return err
+	}
+	return <-res
+}
+
+func (s *Service) doRemoveSource(source VertexID) error {
+	old := *s.table.Load()
+	src, ok := old[source]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSource, source)
+	}
+	next := make(sourceTable, len(old))
+	for k, v := range old {
+		if k != source {
+			next[k] = v
+		}
+	}
+	s.table.Store(&next)
+	shard := s.shards[src.shard]
+	for i, candidate := range shard {
+		if candidate == src {
+			s.shards[src.shard] = append(shard[:i], shard[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// lookup resolves a source through the copy-on-write table (lock-free).
+func (s *Service) lookup(source VertexID) (*serviceSource, error) {
+	table := s.table.Load()
+	if table == nil {
+		return nil, ErrUnknownSource
+	}
+	src, ok := (*table)[source]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownSource, source)
+	}
+	return src, nil
+}
+
+// Sources returns the currently tracked sources in ascending order.
+func (s *Service) Sources() []VertexID {
+	table := *s.table.Load()
+	out := make([]VertexID, 0, len(table))
+	for v := range table {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Estimate returns the PPR estimate of v with respect to source, read from
+// the source's current converged snapshot.
+func (s *Service) Estimate(source, v VertexID) (float64, error) {
+	src, err := s.lookup(source)
+	if err != nil {
+		return 0, err
+	}
+	snap := src.slot.Acquire()
+	if snap == nil {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownSource, source)
+	}
+	defer snap.Release()
+	return snap.Estimate(v), nil
+}
+
+// Estimates returns a copy of source's full estimate vector.
+func (s *Service) Estimates(source VertexID) ([]float64, error) {
+	est, _, err := s.EstimatesInfo(source)
+	return est, err
+}
+
+// SnapshotInfo describes the snapshot a read was served from.
+type SnapshotInfo struct {
+	// Source is the snapshot's source vertex.
+	Source VertexID
+	// Epoch counts publications for this source: 1 is the cold start, and
+	// each completed batch or slide increments it.
+	Epoch uint64
+	// MaxResidual is the L∞ residual norm at publication; the convergence
+	// contract guarantees MaxResidual <= Epsilon.
+	MaxResidual float64
+	// Epsilon is the error threshold the snapshot was converged to.
+	Epsilon float64
+	// Vertices is the snapshot's vector length.
+	Vertices int
+}
+
+// Converged reports whether the snapshot honoured the convergence contract.
+func (i SnapshotInfo) Converged() bool { return i.MaxResidual <= i.Epsilon }
+
+func snapshotInfo(snap *push.Snapshot) SnapshotInfo {
+	return SnapshotInfo{
+		Source:      snap.Source(),
+		Epoch:       snap.Epoch(),
+		MaxResidual: snap.MaxResidual(),
+		Epsilon:     snap.Epsilon(),
+		Vertices:    snap.NumVertices(),
+	}
+}
+
+// EstimatesInfo returns a copy of source's estimate vector together with the
+// metadata of the snapshot it came from, so callers can check the epoch and
+// convergence of what they read.
+func (s *Service) EstimatesInfo(source VertexID) ([]float64, SnapshotInfo, error) {
+	src, err := s.lookup(source)
+	if err != nil {
+		return nil, SnapshotInfo{}, err
+	}
+	snap := src.slot.Acquire()
+	if snap == nil {
+		return nil, SnapshotInfo{}, fmt.Errorf("%w: %d", ErrUnknownSource, source)
+	}
+	defer snap.Release()
+	return snap.Estimates(), snapshotInfo(snap), nil
+}
+
+// Info returns the metadata of source's current snapshot without copying the
+// vector.
+func (s *Service) Info(source VertexID) (SnapshotInfo, error) {
+	src, err := s.lookup(source)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	snap := src.slot.Acquire()
+	if snap == nil {
+		return SnapshotInfo{}, fmt.Errorf("%w: %d", ErrUnknownSource, source)
+	}
+	defer snap.Release()
+	return snapshotInfo(snap), nil
+}
+
+// TopK returns the k vertices with the largest PPR estimates towards source,
+// read from the current converged snapshot.
+func (s *Service) TopK(source VertexID, k int) ([]VertexScore, error) {
+	src, err := s.lookup(source)
+	if err != nil {
+		return nil, err
+	}
+	snap := src.slot.Acquire()
+	if snap == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownSource, source)
+	}
+	defer snap.Release()
+	return topKScores(snap.RawEstimates(), k), nil
+}
+
+// SourceStats reports per-source serving statistics.
+type SourceStats struct {
+	// Source is the tracked source vertex.
+	Source VertexID
+	// Shard is the worker the source is pinned to.
+	Shard int
+	// Epoch is the source's current snapshot epoch.
+	Epoch uint64
+	// Pushes is the cumulative number of push operations performed for this
+	// source (cold start included).
+	Pushes int64
+	// MaxResidual is the residual norm of the current snapshot.
+	MaxResidual float64
+}
+
+// ServiceStats reports aggregate serving statistics.
+type ServiceStats struct {
+	// Sources lists per-source statistics in ascending source order.
+	Sources []SourceStats
+	// Batches is the number of completed ApplyBatch calls.
+	Batches int64
+	// UpdatesApplied and UpdatesSkipped count effective and no-op updates.
+	UpdatesApplied int64
+	UpdatesSkipped int64
+	// QueueDepth is the number of mutations waiting in the pipeline.
+	QueueDepth int
+	// LastBatchLatency and TotalBatchLatency time the restore+push+publish
+	// pipeline (not the queueing delay).
+	LastBatchLatency  time.Duration
+	TotalBatchLatency time.Duration
+	// Vertices and Edges describe the graph after the last completed batch.
+	Vertices int
+	Edges    int
+	// PoolWorkers is the shard pool size.
+	PoolWorkers int
+}
+
+// AvgBatchLatency returns the mean per-batch pipeline latency.
+func (st ServiceStats) AvgBatchLatency() time.Duration {
+	if st.Batches == 0 {
+		return 0
+	}
+	return st.TotalBatchLatency / time.Duration(st.Batches)
+}
+
+// Stats returns a point-in-time view of the service's serving statistics.
+// It is safe to call concurrently with reads and writes.
+func (s *Service) Stats() ServiceStats {
+	table := *s.table.Load()
+	stats := ServiceStats{
+		Batches:           s.batches.Load(),
+		UpdatesApplied:    s.applied.Load(),
+		UpdatesSkipped:    s.skipped.Load(),
+		QueueDepth:        len(s.work),
+		LastBatchLatency:  time.Duration(s.lastLatency.Load()),
+		TotalBatchLatency: time.Duration(s.totalLatency.Load()),
+		Vertices:          int(s.vertices.Load()),
+		Edges:             int(s.edges.Load()),
+		PoolWorkers:       s.opts.PoolWorkers,
+	}
+	for _, src := range table {
+		ss := SourceStats{
+			Source: src.source,
+			Shard:  src.shard,
+			Pushes: src.st.Counters.Snapshot().Pushes,
+		}
+		if snap := src.slot.Acquire(); snap != nil {
+			ss.Epoch = snap.Epoch()
+			ss.MaxResidual = snap.MaxResidual()
+			snap.Release()
+		}
+		stats.Sources = append(stats.Sources, ss)
+	}
+	sort.Slice(stats.Sources, func(i, j int) bool {
+		return stats.Sources[i].Source < stats.Sources[j].Source
+	})
+	return stats
+}
+
+// topKScores ranks the estimate vector and returns the k largest entries,
+// descending, ties broken by ascending vertex id. Shared by Tracker.TopK and
+// Service.TopK. TopK is a hot read path of the serving layer, so instead of
+// sorting all n vertices it keeps a size-k min-heap of the best entries seen
+// (O(n log k)) and only sorts those k at the end.
+func topKScores(est []float64, k int) []VertexScore {
+	if k > len(est) {
+		k = len(est)
+	}
+	if k <= 0 {
+		return nil
+	}
+	// worse reports whether a ranks strictly below b in the result order.
+	worse := func(a, b VertexScore) bool {
+		if a.Score != b.Score {
+			return a.Score < b.Score
+		}
+		return a.Vertex > b.Vertex
+	}
+	// heap[0] is the worst of the current top k.
+	heap := make([]VertexScore, 0, k)
+	siftDown := func(i int) {
+		for {
+			left := 2*i + 1
+			if left >= len(heap) {
+				return
+			}
+			child := left
+			if right := left + 1; right < len(heap) && worse(heap[right], heap[left]) {
+				child = right
+			}
+			if !worse(heap[child], heap[i]) {
+				return
+			}
+			heap[i], heap[child] = heap[child], heap[i]
+			i = child
+		}
+	}
+	for v, score := range est {
+		entry := VertexScore{Vertex: VertexID(v), Score: score}
+		if len(heap) < k {
+			heap = append(heap, entry)
+			for i := len(heap) - 1; i > 0; {
+				parent := (i - 1) / 2
+				if !worse(heap[i], heap[parent]) {
+					break
+				}
+				heap[i], heap[parent] = heap[parent], heap[i]
+				i = parent
+			}
+			continue
+		}
+		if worse(entry, heap[0]) {
+			continue
+		}
+		heap[0] = entry
+		siftDown(0)
+	}
+	sort.Slice(heap, func(i, j int) bool { return worse(heap[j], heap[i]) })
+	return heap
+}

@@ -15,6 +15,12 @@ import (
 // unit-vector PPR states. The graph is mutated once per update; every state
 // is notified and then pushed, with the per-source pushes themselves running
 // concurrently when the set is large.
+//
+// Like Tracker, a TrackerSet is not safe for concurrent use: ApplyBatch and
+// Estimate must not overlap. When queries need to run concurrently with the
+// update stream, use a Service instead — it maintains the same per-source
+// states but serves reads lock-free from converged snapshots while writes
+// flow through a serialized pipeline.
 type TrackerSet struct {
 	g       *Graph
 	opts    Options
@@ -25,21 +31,64 @@ type TrackerSet struct {
 	setWorkers int
 }
 
+// validateSources rejects empty and duplicate source lists. Shared by
+// NewTrackerSet and NewService.
+func validateSources(sources []VertexID) error {
+	if len(sources) == 0 {
+		return fmt.Errorf("dynppr: at least one source is required")
+	}
+	seen := make(map[VertexID]struct{}, len(sources))
+	for _, s := range sources {
+		if _, dup := seen[s]; dup {
+			return fmt.Errorf("dynppr: duplicate source %d", s)
+		}
+		seen[s] = struct{}{}
+	}
+	return nil
+}
+
+// applyBatchNotify applies b to g one update at a time and notifies every
+// state after each effective mutation, so the invariant restore reads the
+// out-degree of the intermediate graph exactly as Algorithm 1 requires. It
+// returns the number of effective updates and their source endpoints.
+// Shared by TrackerSet.ApplyBatch and the Service write pipeline.
+func applyBatchNotify(g *Graph, states []*push.State, b Batch) (applied int, touched []graph.VertexID) {
+	touched = make([]graph.VertexID, 0, len(b))
+	for _, u := range b {
+		switch u.Op {
+		case Insert:
+			added, err := g.AddEdge(u.U, u.V)
+			if err != nil || !added {
+				continue
+			}
+		case Delete:
+			if err := g.RemoveEdge(u.U, u.V); err != nil {
+				continue
+			}
+		default:
+			continue
+		}
+		applied++
+		touched = append(touched, u.U)
+		for _, st := range states {
+			if u.Op == Insert {
+				st.NoteInserted(u.U, u.V)
+			} else {
+				st.NoteDeleted(u.U, u.V)
+			}
+		}
+	}
+	return applied, touched
+}
+
 // NewTrackerSet builds one tracker per source over the shared graph g and
 // brings each to convergence. Duplicate sources are rejected.
 func NewTrackerSet(g *Graph, sources []VertexID, opts Options) (*TrackerSet, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	if len(sources) == 0 {
-		return nil, fmt.Errorf("dynppr: tracker set needs at least one source")
-	}
-	seen := make(map[VertexID]struct{}, len(sources))
-	for _, s := range sources {
-		if _, dup := seen[s]; dup {
-			return nil, fmt.Errorf("dynppr: duplicate source %d", s)
-		}
-		seen[s] = struct{}{}
+	if err := validateSources(sources); err != nil {
+		return nil, err
 	}
 	ts := &TrackerSet{
 		g:          g,
@@ -89,32 +138,7 @@ func (ts *TrackerSet) Estimate(source, v VertexID) (float64, error) {
 // invariant of every tracked source, and pushes each source to convergence.
 func (ts *TrackerSet) ApplyBatch(b Batch) BatchResult {
 	start := time.Now()
-	applied := 0
-	touched := make([]graph.VertexID, 0, len(b))
-	for _, u := range b {
-		switch u.Op {
-		case Insert:
-			added, err := ts.g.AddEdge(u.U, u.V)
-			if err != nil || !added {
-				continue
-			}
-		case Delete:
-			if err := ts.g.RemoveEdge(u.U, u.V); err != nil {
-				continue
-			}
-		default:
-			continue
-		}
-		applied++
-		touched = append(touched, u.U)
-		for _, st := range ts.states {
-			if u.Op == Insert {
-				st.NoteInserted(u.U, u.V)
-			} else {
-				st.NoteDeleted(u.U, u.V)
-			}
-		}
-	}
+	applied, touched := applyBatchNotify(ts.g, ts.states, b)
 	var pushes int64
 	fp.For(len(ts.states), ts.setWorkers, func(i int) {
 		ts.engines[i].Run(ts.states[i], touched)
