@@ -1,0 +1,145 @@
+// Command dppr-httpd serves the dynppr HTTP/JSON API over a concurrent
+// Service: it builds the initial graph (named dataset, synthetic override,
+// or an edge-list file), cold-starts the tracked sources, and then serves
+// top-k/estimate queries, batched reads, edge-update batches and live source
+// management until interrupted, shutting down gracefully.
+//
+// Usage:
+//
+//	dppr-httpd -addr :8080 -dataset youtube -sources 8
+//	dppr-httpd -addr 127.0.0.1:9090 -vertices 5000 -edges 100000 -epsilon 1e-5
+//	dppr-httpd -input edges.txt -sources 4 -engine sequential
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dynppr"
+	"dynppr/internal/gen"
+	"dynppr/internal/httpapi"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dppr-httpd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dppr-httpd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free one)")
+		dataset  = fs.String("dataset", "youtube", "named dataset from the catalog")
+		vertices = fs.Int("vertices", 0, "override: generate an RMAT graph with this many vertices")
+		edges    = fs.Int("edges", 0, "override: number of edges for the generated graph")
+		input    = fs.String("input", "", "override: load the initial graph from this edge-list file")
+		sources  = fs.Int("sources", 4, "number of top-degree sources to serve")
+		epsilon  = fs.Float64("epsilon", 1e-6, "error threshold")
+		engine   = fs.String("engine", "parallel", "engine: parallel, sequential, vertex-centric")
+		workers  = fs.Int("workers", 0, "per-source push workers (0 = GOMAXPROCS)")
+		pool     = fs.Int("pool", 0, "shard pool size (0 = GOMAXPROCS)")
+		seed     = fs.Int64("seed", 1, "random seed for generated graphs")
+		drain    = fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	edgeList, name, err := loadEdges(*input, *dataset, *vertices, *edges, *seed)
+	if err != nil {
+		return err
+	}
+	if len(edgeList) == 0 {
+		return fmt.Errorf("initial graph %q has no edges", name)
+	}
+	g := dynppr.GraphFromEdges(edgeList)
+	if *sources < 1 {
+		*sources = 1
+	}
+	tracked := g.TopDegreeVertices(*sources)
+
+	so := dynppr.DefaultServiceOptions()
+	so.Options.Epsilon = *epsilon
+	so.Options.Workers = *workers
+	so.PoolWorkers = *pool
+	if so.Options.Engine, err = parseEngine(*engine); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "graph=%s vertices=%d edges=%d sources=%v engine=%s epsilon=%.0e\n",
+		name, g.NumVertices(), g.NumEdges(), tracked, so.Options.Engine, so.Options.Epsilon)
+
+	start := time.Now()
+	svc, err := dynppr.NewService(g, tracked, so)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	fmt.Fprintf(out, "cold start: %d sources converged in %v\n",
+		len(tracked), time.Since(start).Round(time.Microsecond))
+
+	srv := httpapi.NewServer(svc, httpapi.ServerOptions{Addr: *addr})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "listening on %s\n", srv.URL())
+
+	<-ctx.Done()
+	fmt.Fprintln(out, "shutting down: draining in-flight requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := srv.Wait(); err != nil {
+		return err
+	}
+	stats := svc.Stats()
+	fmt.Fprintf(out, "served %d batches (%d updates applied); final graph %d vertices / %d edges\n",
+		stats.Batches, stats.UpdatesApplied, stats.Vertices, stats.Edges)
+	return nil
+}
+
+func parseEngine(name string) (dynppr.EngineKind, error) {
+	switch name {
+	case "parallel":
+		return dynppr.EngineParallel, nil
+	case "sequential":
+		return dynppr.EngineSequential, nil
+	case "vertex-centric":
+		return dynppr.EngineVertexCentric, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q", name)
+	}
+}
+
+// loadEdges resolves the initial edge list: an explicit file wins, then a
+// synthetic override, then the named catalog dataset.
+func loadEdges(input, dataset string, vertices, edges int, seed int64) ([]dynppr.Edge, string, error) {
+	if input != "" {
+		list, err := dynppr.LoadEdges(input)
+		return list, input, err
+	}
+	cfg := gen.Config{}
+	if vertices > 0 && edges > 0 {
+		cfg = gen.Config{Name: "custom-rmat", Model: dynppr.ModelRMAT, Vertices: vertices, Edges: edges, Seed: seed}
+	} else {
+		d, err := gen.DatasetByName(dataset)
+		if err != nil {
+			return nil, "", err
+		}
+		cfg = d.Config
+	}
+	list, err := dynppr.GenerateEdges(cfg)
+	return list, cfg.Name, err
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dynppr"
+	"dynppr/internal/httpapi"
+)
+
+// syncBuffer is an io.Writer safe to read while run() writes to it from
+// another goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startHTTPD runs the daemon on a free loopback port and returns its base
+// URL, the cancel that triggers graceful shutdown, and the run error
+// channel.
+func startHTTPD(t *testing.T, out *syncBuffer, extraArgs ...string) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	args := append([]string{
+		"-addr", "127.0.0.1:0", "-vertices", "200", "-edges", "1500",
+		"-sources", "2", "-epsilon", "1e-4",
+	}, extraArgs...)
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(ctx, args, out) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+				return strings.TrimSpace(rest), cancel, errCh
+			}
+		}
+		select {
+		case err := <-errCh:
+			t.Fatalf("daemon exited before listening: %v\n%s", err, out.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	cancel()
+	t.Fatalf("daemon never reported its address:\n%s", out.String())
+	return "", nil, nil
+}
+
+func TestHTTPDServesAndShutsDown(t *testing.T) {
+	var out syncBuffer
+	base, cancel, errCh := startHTTPD(t, &out)
+	defer cancel()
+
+	client := httpapi.NewClient(base, nil)
+	if err := client.Health(); err != nil {
+		t.Fatal(err)
+	}
+	sources, err := client.Sources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) != 2 {
+		t.Fatalf("sources = %v, want 2", sources)
+	}
+	top, err := client.TopK(sources[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !top.Snapshot.Converged || len(top.Results) != 5 {
+		t.Fatalf("topk = %+v", top)
+	}
+	res, err := client.ApplyEdges([]httpapi.Update{{U: 7, V: sources[0], Op: httpapi.OpInsert}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied+res.Skipped != 1 {
+		t.Fatalf("edges response = %+v", res)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("graceful shutdown failed: %v\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	for _, want := range []string{"cold start", "shutting down", "served 1 batches"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if err := client.Health(); err == nil {
+		t.Fatal("server still reachable after shutdown")
+	}
+}
+
+func TestHTTPDInputFile(t *testing.T) {
+	edges, err := dynppr.GenerateEdges(dynppr.SyntheticConfig{
+		Model: dynppr.ModelBarabasiAlbert, Vertices: 150, Edges: 1200, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/edges.txt"
+	if err := dynppr.SaveEdges(path, edges); err != nil {
+		t.Fatal(err)
+	}
+	var out syncBuffer
+	base, cancel, errCh := startHTTPD(t, &out, "-input", path, "-engine", "sequential")
+	defer cancel()
+	if err := httpapi.NewClient(base, nil).Health(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), path) {
+		t.Fatalf("output should name the input file:\n%s", out.String())
+	}
+}
+
+func TestHTTPDErrors(t *testing.T) {
+	ctx := context.Background()
+	var buf bytes.Buffer
+	if err := run(ctx, []string{"-engine", "warp-drive", "-vertices", "10", "-edges", "20"}, &buf); err == nil {
+		t.Fatal("unknown engine must fail")
+	}
+	if err := run(ctx, []string{"-dataset", "no-such"}, &buf); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+	if err := run(ctx, []string{"-input", "/does/not/exist.txt"}, &buf); err == nil {
+		t.Fatal("missing input must fail")
+	}
+	if err := run(ctx, []string{"-vertices", "50", "-edges", "200", "-addr", "256.0.0.1:bad"}, &buf); err == nil {
+		t.Fatal("unlistenable address must fail")
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for name, want := range map[string]dynppr.EngineKind{
+		"parallel":       dynppr.EngineParallel,
+		"sequential":     dynppr.EngineSequential,
+		"vertex-centric": dynppr.EngineVertexCentric,
+	} {
+		got, err := parseEngine(name)
+		if err != nil || got != want {
+			t.Fatalf("parseEngine(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseEngine("gpu"); err == nil {
+		t.Fatal("unknown engine must fail")
+	}
+}

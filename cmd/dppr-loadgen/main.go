@@ -1,0 +1,326 @@
+// Command dppr-loadgen is a closed-loop load generator for dppr-httpd: it
+// runs a pool of client goroutines against a live server, each issuing a
+// configurable mix of top-k, estimate, batched-read and edge-write requests
+// back-to-back, and reports per-class throughput and latency percentiles.
+//
+// Every read response is checked against the serving contract: the snapshot
+// it was served from must be converged and its epoch must never decrease for
+// the same source as seen by one client. Any non-2xx response or contract
+// violation makes the run fail, so the tool doubles as an end-to-end
+// correctness check under load.
+//
+// Usage:
+//
+//	dppr-loadgen -addr http://127.0.0.1:8080 -clients 64 -duration 30s
+//	dppr-loadgen -addr http://127.0.0.1:8080 -clients 128 -requests 500 -write 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"dynppr"
+	"dynppr/internal/httpapi"
+	"dynppr/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dppr-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// opClass is one request class of the mix.
+type opClass int
+
+const (
+	opTopK opClass = iota
+	opEstimate
+	opBatchRead
+	opWrite
+	numClasses
+)
+
+func (c opClass) String() string {
+	return [...]string{"topk", "estimate", "batchread", "write"}[c]
+}
+
+// clientResult accumulates one client goroutine's measurements; results are
+// merged after the pool drains so the hot loop never shares state.
+type clientResult struct {
+	lat        [numClasses]metrics.LatencyStats
+	errors     []error
+	violations []string
+}
+
+type config struct {
+	clients  int
+	requests int
+	duration time.Duration
+	weights  [numClasses]int
+	k        int
+	batch    int
+	reads    int
+	seed     int64
+}
+
+// parseFlags resolves the command line into the load configuration and the
+// target base URL.
+func parseFlags(args []string) (config, string, error) {
+	fs := flag.NewFlagSet("dppr-loadgen", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:8080", "base URL of the dppr-httpd server")
+		clients  = fs.Int("clients", 64, "concurrent closed-loop client goroutines")
+		requests = fs.Int("requests", 0, "requests per client (0 = run for -duration)")
+		duration = fs.Duration("duration", 10*time.Second, "run length when -requests is 0")
+		topk     = fs.Int("topk", 60, "mix weight of single top-k reads")
+		estimate = fs.Int("estimate", 25, "mix weight of single estimate reads")
+		batchr   = fs.Int("batchread", 5, "mix weight of batched /query reads")
+		write    = fs.Int("write", 10, "mix weight of /edges update batches")
+		k        = fs.Int("k", 10, "ranking length of top-k queries")
+		batch    = fs.Int("batch", 100, "updates per write batch")
+		reads    = fs.Int("reads", 8, "queries per batched read")
+		seed     = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return config{}, "", err
+	}
+	cfg := config{
+		clients:  *clients,
+		requests: *requests,
+		duration: *duration,
+		weights:  [numClasses]int{opTopK: *topk, opEstimate: *estimate, opBatchRead: *batchr, opWrite: *write},
+		k:        *k,
+		batch:    *batch,
+		reads:    *reads,
+		seed:     *seed,
+	}
+	if cfg.clients < 1 {
+		return config{}, "", fmt.Errorf("-clients must be at least 1")
+	}
+	if cfg.batch < 1 || cfg.reads < 1 {
+		return config{}, "", fmt.Errorf("-batch and -reads must be at least 1")
+	}
+	total := 0
+	for _, w := range cfg.weights {
+		if w < 0 {
+			return config{}, "", fmt.Errorf("mix weights must be non-negative")
+		}
+		total += w
+	}
+	if total == 0 {
+		return config{}, "", fmt.Errorf("at least one mix weight must be positive")
+	}
+	return cfg, *addr, nil
+}
+
+func run(args []string, out io.Writer) error {
+	cfg, addr, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	// One shared transport: connection reuse across clients is the realistic
+	// many-users-one-frontend shape, and it keeps ephemeral ports bounded.
+	hc := &http.Client{Timeout: 60 * time.Second}
+	probe := httpapi.NewClient(addr, hc)
+	if err := probe.Health(); err != nil {
+		return fmt.Errorf("server not healthy at %s: %w", addr, err)
+	}
+	sources, err := probe.Sources()
+	if err != nil {
+		return err
+	}
+	if len(sources) == 0 {
+		return fmt.Errorf("server tracks no sources")
+	}
+	stats, err := probe.Stats()
+	if err != nil {
+		return err
+	}
+	vertices := stats.Service.Vertices
+	if vertices < 2 {
+		return fmt.Errorf("server graph has %d vertices", vertices)
+	}
+
+	fmt.Fprintf(out, "target=%s clients=%d sources=%d vertices=%d mix topk:estimate:batchread:write = %d:%d:%d:%d\n",
+		addr, cfg.clients, len(sources), vertices,
+		cfg.weights[opTopK], cfg.weights[opEstimate], cfg.weights[opBatchRead], cfg.weights[opWrite])
+
+	deadline := time.Time{}
+	if cfg.requests <= 0 {
+		deadline = time.Now().Add(cfg.duration)
+	}
+	results := make([]*clientResult, cfg.clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		res := &clientResult{}
+		results[c] = res
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			runClient(id, cfg, addr, hc, sources, vertices, deadline, res)
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return report(out, results, elapsed)
+}
+
+// runClient is one closed-loop client: it issues requests back-to-back until
+// its request budget or the deadline is exhausted.
+func runClient(id int, cfg config, addr string, hc *http.Client,
+	sources []dynppr.VertexID, vertices int, deadline time.Time, res *clientResult) {
+	client := httpapi.NewClient(addr, hc)
+	rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
+	epochs := make(map[dynppr.VertexID]uint64, len(sources))
+
+	totalWeight := 0
+	for _, w := range cfg.weights {
+		totalWeight += w
+	}
+
+	checkMeta := func(m httpapi.SnapshotMeta) {
+		if !m.Converged {
+			res.violations = append(res.violations,
+				fmt.Sprintf("source %d epoch %d: snapshot not converged (residual %g > ε %g)",
+					m.Source, m.Epoch, m.MaxResidual, m.Epsilon))
+		}
+		if last, ok := epochs[m.Source]; ok && m.Epoch < last {
+			res.violations = append(res.violations,
+				fmt.Sprintf("source %d: epoch went backwards %d -> %d", m.Source, last, m.Epoch))
+		}
+		epochs[m.Source] = m.Epoch
+	}
+
+	for i := 0; cfg.requests <= 0 || i < cfg.requests; i++ {
+		if cfg.requests <= 0 && !time.Now().Before(deadline) {
+			return
+		}
+		pick := rng.Intn(totalWeight)
+		class := opClass(0)
+		for acc := 0; class < numClasses; class++ {
+			acc += cfg.weights[class]
+			if pick < acc {
+				break
+			}
+		}
+		src := sources[rng.Intn(len(sources))]
+		start := time.Now()
+		var err error
+		switch class {
+		case opTopK:
+			var top httpapi.TopKResult
+			if top, err = client.TopK(src, cfg.k); err == nil {
+				checkMeta(top.Snapshot)
+			}
+		case opEstimate:
+			var est httpapi.EstimateResult
+			v := dynppr.VertexID(rng.Intn(vertices))
+			if est, err = client.Estimate(src, v); err == nil {
+				checkMeta(est.Snapshot)
+			}
+		case opBatchRead:
+			queries := make([]httpapi.Query, cfg.reads)
+			for q := range queries {
+				s := sources[rng.Intn(len(sources))]
+				if q%2 == 0 {
+					queries[q] = httpapi.Query{Kind: httpapi.KindTopK, Source: s, K: cfg.k}
+				} else {
+					queries[q] = httpapi.Query{
+						Kind: httpapi.KindEstimate, Source: s,
+						Vertex: dynppr.VertexID(rng.Intn(vertices)),
+					}
+				}
+			}
+			var batch []httpapi.QueryResult
+			if batch, err = client.Query(queries); err == nil {
+				for _, r := range batch {
+					switch {
+					case r.TopK != nil:
+						checkMeta(r.TopK.Snapshot)
+					case r.Estimate != nil:
+						checkMeta(r.Estimate.Snapshot)
+					default:
+						res.violations = append(res.violations,
+							fmt.Sprintf("batched query failed inline: %s", r.Error))
+					}
+				}
+			}
+		case opWrite:
+			updates := make([]httpapi.Update, cfg.batch)
+			for u := range updates {
+				op := httpapi.OpInsert
+				if rng.Intn(3) == 0 {
+					op = httpapi.OpDelete
+				}
+				updates[u] = httpapi.Update{
+					U:  dynppr.VertexID(rng.Intn(vertices)),
+					V:  dynppr.VertexID(rng.Intn(vertices)),
+					Op: op,
+				}
+			}
+			_, err = client.ApplyEdges(updates)
+		}
+		res.lat[class].Observe(time.Since(start))
+		if err != nil {
+			res.errors = append(res.errors, fmt.Errorf("client %d %s: %w", id, class, err))
+		}
+	}
+}
+
+func report(out io.Writer, results []*clientResult, elapsed time.Duration) error {
+	var merged [numClasses]metrics.LatencyStats
+	var errs []error
+	var violations []string
+	for _, res := range results {
+		for c := opClass(0); c < numClasses; c++ {
+			merged[c].AddAll(&res.lat[c])
+		}
+		errs = append(errs, res.errors...)
+		violations = append(violations, res.violations...)
+	}
+
+	var total int64
+	for c := opClass(0); c < numClasses; c++ {
+		total += int64(merged[c].Count())
+	}
+	fmt.Fprintf(out, "completed %d requests in %v (%.0f req/sec overall)\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	fmt.Fprintf(out, "%-10s %10s %12s %12s %12s %12s %12s\n",
+		"class", "requests", "mean", "p50", "p95", "p99", "max")
+	for c := opClass(0); c < numClasses; c++ {
+		l := &merged[c]
+		if l.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "%-10s %10d %12v %12v %12v %12v %12v\n",
+			c, l.Count(),
+			l.Mean().Round(time.Microsecond),
+			l.Percentile(50).Round(time.Microsecond),
+			l.Percentile(95).Round(time.Microsecond),
+			l.Percentile(99).Round(time.Microsecond),
+			l.Max().Round(time.Microsecond))
+	}
+	fmt.Fprintf(out, "non-2xx or transport errors: %d\n", len(errs))
+	fmt.Fprintf(out, "snapshot contract violations: %d\n", len(violations))
+
+	if len(errs) > 0 {
+		return fmt.Errorf("%d request(s) failed, first: %w", len(errs), errs[0])
+	}
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		return fmt.Errorf("%d snapshot contract violation(s), first: %s", len(violations), violations[0])
+	}
+	return nil
+}

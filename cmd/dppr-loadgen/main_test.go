@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dynppr"
+	"dynppr/internal/httpapi"
+)
+
+// startServer brings up a real loopback dppr-httpd equivalent (Service +
+// httpapi.Server) for the load generator to hammer.
+func startServer(t *testing.T) string {
+	t.Helper()
+	edges, err := dynppr.GenerateEdges(dynppr.SyntheticConfig{
+		Model: dynppr.ModelRMAT, Vertices: 200, Edges: 1500, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dynppr.GraphFromEdges(edges)
+	sources := g.TopDegreeVertices(3)
+	so := dynppr.DefaultServiceOptions()
+	so.Options.Epsilon = 1e-4
+	so.Options.Workers = 2
+	so.PoolWorkers = 2
+	svc, err := dynppr.NewService(g, sources, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	srv := httpapi.NewServer(svc, httpapi.ServerOptions{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Wait() })
+	t.Cleanup(func() { srv.Shutdown(t.Context()) })
+	return srv.URL()
+}
+
+// TestLoadgen64Clients is the acceptance run: 64 concurrent closed-loop
+// clients over a live update stream (10% writes) with zero non-2xx
+// responses and zero snapshot contract violations.
+func TestLoadgen64Clients(t *testing.T) {
+	base := startServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", base, "-clients", "64", "-requests", "5",
+		"-batch", "20", "-reads", "4", "-seed", "3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"clients=64",
+		"completed 320 requests",
+		"non-2xx or transport errors: 0",
+		"snapshot contract violations: 0",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestLoadgenDurationMode(t *testing.T) {
+	base := startServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", base, "-clients", "8", "-duration", "250ms", "-batch", "10",
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "req/sec overall") {
+		t.Fatalf("missing throughput line:\n%s", out.String())
+	}
+}
+
+func TestLoadgenReadOnlyMix(t *testing.T) {
+	base := startServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", base, "-clients", "4", "-requests", "10", "-write", "0", "-batchread", "0",
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen failed: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "write") && strings.Contains(out.String(), "\nwrite ") {
+		t.Fatalf("write class should be silent with weight 0:\n%s", out.String())
+	}
+}
+
+func TestLoadgenFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-clients", "0"},
+		{"-batch", "0"},
+		{"-reads", "0"},
+		{"-topk", "0", "-estimate", "0", "-batchread", "0", "-write", "0"},
+		{"-topk", "-1"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Fatalf("args %v must fail", args)
+		}
+	}
+}
+
+func TestLoadgenUnreachableServer(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-addr", "http://127.0.0.1:1", "-clients", "1", "-requests", "1"}, &out)
+	if err == nil {
+		t.Fatal("unreachable server must fail the health probe")
+	}
+	if !strings.Contains(err.Error(), "not healthy") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

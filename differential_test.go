@@ -159,6 +159,154 @@ func TestDifferentialEngines(t *testing.T) {
 	}
 }
 
+// buildDifferentialTrackers builds one tracker per engine/variant over the
+// same initial edge list.
+func buildDifferentialTrackers(t *testing.T, initial []dynppr.Edge, source dynppr.VertexID, epsilon float64) ([]engineConfig, []*dynppr.Tracker) {
+	t.Helper()
+	configs := allEngineConfigs()
+	trackers := make([]*dynppr.Tracker, len(configs))
+	for i, c := range configs {
+		opts := dynppr.DefaultOptions()
+		opts.Engine = c.engine
+		opts.Variant = c.variant
+		opts.Epsilon = epsilon
+		opts.Workers = 2
+		tr, err := dynppr.NewTracker(dynppr.GraphFromEdges(initial), source, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		trackers[i] = tr
+	}
+	return configs, trackers
+}
+
+// replayAndCompare replays the stream on every tracker, asserting per batch
+// that all engines stay within 2ε of the sequential reference, and finally
+// that every engine is within ε of the exact power-iteration oracle.
+func replayAndCompare(t *testing.T, configs []engineConfig, trackers []*dynppr.Tracker, stream []dynppr.Batch, epsilon float64) {
+	t.Helper()
+	for b, batch := range stream {
+		for i, tr := range trackers {
+			tr.ApplyBatch(batch)
+			if !tr.Converged() {
+				t.Fatalf("%s: not converged after batch %d", configs[i].name, b)
+			}
+		}
+		refEst := trackers[0].Estimates()
+		for i, tr := range trackers[1:] {
+			est := tr.Estimates()
+			if len(est) != len(refEst) {
+				t.Fatalf("%s: vector length %d vs %d after batch %d",
+					configs[i+1].name, len(est), len(refEst), b)
+			}
+			for v := range est {
+				if d := math.Abs(est[v] - refEst[v]); d > 2*epsilon {
+					t.Fatalf("%s: batch %d vertex %d differs from sequential by %v",
+						configs[i+1].name, b, v, d)
+				}
+			}
+		}
+	}
+	oracle, err := power.ReverseGraph(trackers[0].Graph(), trackers[0].Source(), power.Options{
+		Alpha: 0.15, Tolerance: 1e-13, MaxIterations: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range trackers {
+		var worst float64
+		for v, est := range tr.Estimates() {
+			if d := math.Abs(est - oracle[v]); d > worst {
+				worst = d
+			}
+		}
+		if worst > epsilon {
+			t.Fatalf("%s: max error vs oracle %v exceeds ε %v", configs[i].name, worst, epsilon)
+		}
+		if err := tr.Graph().CheckConsistency(); err != nil {
+			t.Fatalf("%s: %v", configs[i].name, err)
+		}
+	}
+}
+
+// TestDifferentialDeleteHeavy replays a stream dominated by deletions —
+// starting from the full edge universe and tearing most of it down — so the
+// engines' deletion invariant-restoration path, not just the insert path,
+// carries the differential comparison.
+func TestDifferentialDeleteHeavy(t *testing.T) {
+	const epsilon = 1e-5
+	universe, err := dynppr.GenerateEdges(dynppr.SyntheticConfig{
+		Model: dynppr.ModelBarabasiAlbert, Vertices: 120, Edges: 700, Seed: 53,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := dynppr.GraphFromEdges(universe).TopDegreeVertices(1)[0]
+	configs, trackers := buildDifferentialTrackers(t, universe, source, epsilon)
+
+	// 3 deletes to 1 insert: the graph shrinks through the run, and some
+	// deletes hit edges already gone (the no-op path).
+	rng := rand.New(rand.NewSource(54))
+	present := append([]dynppr.Edge(nil), universe...)
+	stream := make([]dynppr.Batch, 0, 6)
+	for b := 0; b < 6; b++ {
+		batch := make(dynppr.Batch, 0, 80)
+		for i := 0; i < 80; i++ {
+			if len(present) > 0 && rng.Intn(4) != 0 {
+				idx := rng.Intn(len(present))
+				e := present[idx]
+				present = append(present[:idx], present[idx+1:]...)
+				batch = append(batch, dynppr.Update{U: e.U, V: e.V, Op: dynppr.Delete})
+			} else {
+				e := universe[rng.Intn(len(universe))]
+				batch = append(batch, dynppr.Update{U: e.U, V: e.V, Op: dynppr.Insert})
+				present = append(present, e)
+			}
+		}
+		stream = append(stream, batch)
+	}
+	replayAndCompare(t, configs, trackers, stream, epsilon)
+
+	if got := trackers[0].Graph().NumEdges(); got >= len(universe)/2 {
+		t.Fatalf("stream was not delete-heavy: %d of %d edges remain", got, len(universe))
+	}
+}
+
+// TestDifferentialSlidingWindow replays the paper's sliding-window workload
+// with a window much smaller than the graph, so every slide is half inserts
+// and half deletes and the entire edge set turns over during the run.
+func TestDifferentialSlidingWindow(t *testing.T) {
+	const epsilon = 1e-5
+	universe, err := dynppr.GenerateEdges(dynppr.SyntheticConfig{
+		Model: dynppr.ModelRMAT, Vertices: 120, Edges: 900, Seed: 61,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := dynppr.NewStream(universe, 62)
+	// A 10% window over a 900-edge stream: the window (~90 edges) is far
+	// smaller than the graph it slides across.
+	window, initial := dynppr.NewSlidingWindow(stream, 0.1)
+	if window.Size() >= len(universe)/2 {
+		t.Fatalf("window %d is not smaller than the graph (%d edges)", window.Size(), len(universe))
+	}
+	source := dynppr.GraphFromEdges(initial).TopDegreeVertices(1)[0]
+	configs, trackers := buildDifferentialTrackers(t, initial, source, epsilon)
+
+	var batches []dynppr.Batch
+	for {
+		b := window.Slide(45)
+		if len(b) == 0 {
+			break
+		}
+		batches = append(batches, b)
+	}
+	if len(batches) < 10 {
+		t.Fatalf("expected a long slide sequence, got %d batches", len(batches))
+	}
+	replayAndCompare(t, configs, trackers, batches, epsilon)
+}
+
 // TestDifferentialInvariant checks the structural property the scheme rests
 // on: after arbitrary mixed batches, Equation 2 holds at every vertex for
 // every engine (the invariant error stays at floating-point noise even

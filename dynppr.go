@@ -37,6 +37,13 @@
 // many goroutines while an update stream is applied, use Service: it shards
 // multiple sources across a worker pool, serializes writes through one
 // pipeline, and answers reads lock-free from converged snapshots.
+//
+// To serve a Service over the network, see internal/httpapi (HTTP/JSON
+// handler, server and client; every read response carries the SnapshotInfo
+// of the converged snapshot it came from) together with cmd/dppr-httpd (the
+// daemon) and cmd/dppr-loadgen (a closed-loop load generator that doubles as
+// a serving-contract checker). The README's "Serving over the network"
+// section documents the endpoints and JSON shapes.
 package dynppr
 
 import (

@@ -35,12 +35,12 @@ func decodeFuzzUpdates(data []byte) []dynppr.Update {
 // the exact power-iteration answer for the current graph.
 func FuzzTrackerApplyBatch(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{1, 2, 0})                                  // single insert
-	f.Add([]byte{1, 2, 0, 1, 2, 0})                         // duplicate insert
-	f.Add([]byte{5, 5, 0, 5, 5, 1})                         // self-loop insert then delete
-	f.Add([]byte{9, 4, 1})                                  // delete of a missing edge
-	f.Add([]byte{1, 2, 0, 1, 2, 1, 1, 2, 0, 1, 2, 1})      // insert/delete churn
-	f.Add([]byte{0, 1, 0, 1, 2, 0, 2, 0, 0, 2, 2, 0})      // cycle plus self-loop
+	f.Add([]byte{1, 2, 0})                                // single insert
+	f.Add([]byte{1, 2, 0, 1, 2, 0})                       // duplicate insert
+	f.Add([]byte{5, 5, 0, 5, 5, 1})                       // self-loop insert then delete
+	f.Add([]byte{9, 4, 1})                                // delete of a missing edge
+	f.Add([]byte{1, 2, 0, 1, 2, 1, 1, 2, 0, 1, 2, 1})     // insert/delete churn
+	f.Add([]byte{0, 1, 0, 1, 2, 0, 2, 0, 0, 2, 2, 0})     // cycle plus self-loop
 	f.Add([]byte{3, 7, 0, 7, 3, 0, 3, 7, 1, 200, 255, 0}) // bidirectional, high bytes
 
 	f.Fuzz(func(t *testing.T, data []byte) {

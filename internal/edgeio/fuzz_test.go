@@ -1,0 +1,77 @@
+package edgeio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzEdgeioRead feeds arbitrary byte streams through Read. The contract
+// under fuzz: Read returns either an error or a well-formed edge list —
+// never a panic, never an edge with a negative endpoint — and whatever it
+// accepts must survive a Write/Read round trip unchanged.
+func FuzzEdgeioRead(f *testing.F) {
+	// SNAP-style files as downloaded from the archive.
+	f.Add([]byte("# Directed graph (each unordered pair of nodes is saved once)\n" +
+		"# FromNodeId\tToNodeId\n0\t1\n0\t2\n1\t2\n"))
+	f.Add([]byte("% MatrixMarket-style comment\n1 2\n2 3\n"))
+	// Plain edges, blank lines, trailing fields, CRLF.
+	f.Add([]byte("1 2\n\n3 4 1.5\n"))
+	f.Add([]byte("1 2\r\n3 4\r\n"))
+	f.Add([]byte("  7   9  \n"))
+	// Junk lines and malformed ids.
+	f.Add([]byte("a b\n"))
+	f.Add([]byte("1\n"))
+	f.Add([]byte("-1 2\n"))
+	f.Add([]byte("1 -2\n"))
+	f.Add([]byte("99999999999999999999 1\n")) // overflows int32
+	f.Add([]byte("0x10 2\n"))                 // hex is not accepted
+	f.Add([]byte("1.5 2\n"))                  // floats are not ids
+	f.Add([]byte("\x00\x01\x02\xff\xfe"))     // binary garbage
+	f.Add([]byte("# only a comment, no edges\n"))
+	f.Add([]byte(strings.Repeat("1 2\n", 1000))) // long but valid
+	f.Add([]byte(strings.Repeat("x", 100_000)))  // one huge junk line
+	f.Add([]byte("2147483647 2147483647\n"))     // int32 max is valid
+	f.Add([]byte("2147483648 1\n"))              // int32 max + 1 is not
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edges, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if len(edges) != 0 {
+				t.Fatalf("error return must not also carry edges: %d with %v", len(edges), err)
+			}
+			return
+		}
+		for i, e := range edges {
+			if e.U < 0 || e.V < 0 {
+				t.Fatalf("edge %d has negative endpoint: %+v", i, e)
+			}
+		}
+		// Round trip: what Read accepted, Write must reproduce exactly.
+		var buf bytes.Buffer
+		if err := Write(&buf, edges); err != nil {
+			t.Fatalf("Write failed on accepted edges: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-Read failed: %v", err)
+		}
+		if len(again) != len(edges) {
+			t.Fatalf("round trip changed edge count: %d -> %d", len(edges), len(again))
+		}
+		for i := range edges {
+			if edges[i] != again[i] {
+				t.Fatalf("round trip changed edge %d: %+v -> %+v", i, edges[i], again[i])
+			}
+		}
+	})
+}
+
+// TestReadHugeLine pins the scanner's buffer limit: a single line longer
+// than the 1 MiB cap must surface as an error, not a panic or truncation.
+func TestReadHugeLine(t *testing.T) {
+	huge := strings.Repeat("7", 2<<20) + " 1\n"
+	if _, err := Read(strings.NewReader(huge)); err == nil {
+		t.Fatal("over-long line must error")
+	}
+}

@@ -1,0 +1,242 @@
+// Package httpapi is the network front end of the serving layer: JSON wire
+// types, an http.Handler over a dynppr.Service, a production-shaped server
+// (timeouts, graceful shutdown, per-endpoint latency/QPS counters) and a Go
+// client. The endpoints expose exactly the Service read/write surface —
+// single and batched top-k/estimate queries, edge-update batches, live
+// source add/remove, and serving statistics — and every read response
+// carries the metadata of the converged snapshot it was served from, so
+// remote callers can verify the same consistency contract in-process callers
+// get from SnapshotInfo.
+package httpapi
+
+import (
+	"fmt"
+
+	"dynppr"
+)
+
+// Update operation names on the wire.
+const (
+	OpInsert = "insert"
+	OpDelete = "delete"
+)
+
+// Query kinds accepted by POST /query.
+const (
+	KindTopK     = "topk"
+	KindEstimate = "estimate"
+)
+
+// SnapshotMeta is the wire form of dynppr.SnapshotInfo: which converged
+// snapshot a read was served from.
+type SnapshotMeta struct {
+	Source      dynppr.VertexID `json:"source"`
+	Epoch       uint64          `json:"epoch"`
+	MaxResidual float64         `json:"max_residual"`
+	Epsilon     float64         `json:"epsilon"`
+	Vertices    int             `json:"vertices"`
+	Converged   bool            `json:"converged"`
+}
+
+func snapshotMeta(info dynppr.SnapshotInfo) SnapshotMeta {
+	return SnapshotMeta{
+		Source:      info.Source,
+		Epoch:       info.Epoch,
+		MaxResidual: info.MaxResidual,
+		Epsilon:     info.Epsilon,
+		Vertices:    info.Vertices,
+		Converged:   info.Converged(),
+	}
+}
+
+// VertexScore is one ranked vertex in a top-k response.
+type VertexScore struct {
+	Vertex dynppr.VertexID `json:"vertex"`
+	Score  float64         `json:"score"`
+}
+
+// TopKResult answers a top-k query: the ranking and the snapshot it came
+// from.
+type TopKResult struct {
+	Snapshot SnapshotMeta  `json:"snapshot"`
+	K        int           `json:"k"`
+	Results  []VertexScore `json:"results"`
+}
+
+// EstimateResult answers an estimate query.
+type EstimateResult struct {
+	Snapshot SnapshotMeta    `json:"snapshot"`
+	Vertex   dynppr.VertexID `json:"vertex"`
+	Score    float64         `json:"score"`
+}
+
+// Query is one element of a batched read request.
+type Query struct {
+	// Kind is "topk" or "estimate".
+	Kind   string          `json:"kind"`
+	Source dynppr.VertexID `json:"source"`
+	// Vertex is the query vertex for estimate queries.
+	Vertex dynppr.VertexID `json:"vertex,omitempty"`
+	// K is the ranking length for topk queries.
+	K int `json:"k,omitempty"`
+}
+
+// QueryRequest is the body of POST /query.
+type QueryRequest struct {
+	Queries []Query `json:"queries"`
+}
+
+// QueryResult is the outcome of one query of a batch: exactly one of TopK,
+// Estimate or Error is set.
+type QueryResult struct {
+	TopK     *TopKResult     `json:"topk,omitempty"`
+	Estimate *EstimateResult `json:"estimate,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// QueryResponse is the body answering POST /query, results in request order.
+type QueryResponse struct {
+	Results []QueryResult `json:"results"`
+}
+
+// Update is one edge update of a POST /edges batch.
+type Update struct {
+	U dynppr.VertexID `json:"u"`
+	V dynppr.VertexID `json:"v"`
+	// Op is "insert" or "delete".
+	Op string `json:"op"`
+}
+
+// ToUpdate converts the wire update to the library type.
+func (u Update) ToUpdate() (dynppr.Update, error) {
+	if u.U < 0 || u.V < 0 {
+		return dynppr.Update{}, fmt.Errorf("httpapi: negative vertex id in edge (%d, %d)", u.U, u.V)
+	}
+	switch u.Op {
+	case OpInsert:
+		return dynppr.Update{U: u.U, V: u.V, Op: dynppr.Insert}, nil
+	case OpDelete:
+		return dynppr.Update{U: u.U, V: u.V, Op: dynppr.Delete}, nil
+	default:
+		return dynppr.Update{}, fmt.Errorf("httpapi: unknown op %q (want %q or %q)", u.Op, OpInsert, OpDelete)
+	}
+}
+
+// FromBatch converts a library batch to its wire form.
+func FromBatch(b dynppr.Batch) []Update {
+	out := make([]Update, len(b))
+	for i, u := range b {
+		op := OpInsert
+		if u.Op == dynppr.Delete {
+			op = OpDelete
+		}
+		out[i] = Update{U: u.U, V: u.V, Op: op}
+	}
+	return out
+}
+
+// EdgesRequest is the body of POST /edges.
+type EdgesRequest struct {
+	Updates []Update `json:"updates"`
+}
+
+// EdgesResponse reports what the batch did, mirroring dynppr.BatchResult.
+type EdgesResponse struct {
+	Applied       int   `json:"applied"`
+	Skipped       int   `json:"skipped"`
+	LatencyMicros int64 `json:"latency_micros"`
+	Pushes        int64 `json:"pushes"`
+}
+
+// SourcesRequest is the body of POST /sources: sources to start and stop
+// tracking. Adds are applied before removes.
+type SourcesRequest struct {
+	Add    []dynppr.VertexID `json:"add,omitempty"`
+	Remove []dynppr.VertexID `json:"remove,omitempty"`
+}
+
+// SourcesResponse lists the tracked sources after the request took effect.
+type SourcesResponse struct {
+	Sources []dynppr.VertexID `json:"sources"`
+}
+
+// HealthResponse is the body of a 200 GET /healthz. Once the service has
+// shut down, /healthz instead answers 503 with the usual ErrorResponse
+// envelope.
+type HealthResponse struct {
+	// Status is "ok".
+	Status string `json:"status"`
+}
+
+// SourceStats is the wire form of dynppr.SourceStats.
+type SourceStats struct {
+	Source      dynppr.VertexID `json:"source"`
+	Shard       int             `json:"shard"`
+	Epoch       uint64          `json:"epoch"`
+	Pushes      int64           `json:"pushes"`
+	MaxResidual float64         `json:"max_residual"`
+}
+
+// ServiceStats is the wire form of dynppr.ServiceStats.
+type ServiceStats struct {
+	Sources          []SourceStats `json:"sources"`
+	Batches          int64         `json:"batches"`
+	UpdatesApplied   int64         `json:"updates_applied"`
+	UpdatesSkipped   int64         `json:"updates_skipped"`
+	QueueDepth       int           `json:"queue_depth"`
+	LastBatchMicros  int64         `json:"last_batch_micros"`
+	AvgBatchMicros   int64         `json:"avg_batch_micros"`
+	TotalBatchMicros int64         `json:"total_batch_micros"`
+	Vertices         int           `json:"vertices"`
+	Edges            int           `json:"edges"`
+	PoolWorkers      int           `json:"pool_workers"`
+}
+
+func serviceStats(st dynppr.ServiceStats) ServiceStats {
+	out := ServiceStats{
+		Batches:          st.Batches,
+		UpdatesApplied:   st.UpdatesApplied,
+		UpdatesSkipped:   st.UpdatesSkipped,
+		QueueDepth:       st.QueueDepth,
+		LastBatchMicros:  st.LastBatchLatency.Microseconds(),
+		AvgBatchMicros:   st.AvgBatchLatency().Microseconds(),
+		TotalBatchMicros: st.TotalBatchLatency.Microseconds(),
+		Vertices:         st.Vertices,
+		Edges:            st.Edges,
+		PoolWorkers:      st.PoolWorkers,
+	}
+	for _, ss := range st.Sources {
+		out.Sources = append(out.Sources, SourceStats{
+			Source:      ss.Source,
+			Shard:       ss.Shard,
+			Epoch:       ss.Epoch,
+			Pushes:      ss.Pushes,
+			MaxResidual: ss.MaxResidual,
+		})
+	}
+	return out
+}
+
+// EndpointStats reports one endpoint's serving counters.
+type EndpointStats struct {
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	QPS        float64 `json:"qps"`
+	MeanMicros int64   `json:"mean_micros"`
+	P50Micros  int64   `json:"p50_micros"`
+	P95Micros  int64   `json:"p95_micros"`
+	P99Micros  int64   `json:"p99_micros"`
+	MaxMicros  int64   `json:"max_micros"`
+}
+
+// StatsResponse is the body of GET /stats: the service's serving statistics
+// plus the HTTP layer's per-endpoint counters.
+type StatsResponse struct {
+	Service ServiceStats             `json:"service"`
+	HTTP    map[string]EndpointStats `json:"http"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

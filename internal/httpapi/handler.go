@@ -1,0 +1,338 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dynppr"
+)
+
+// maxBodyBytes bounds request bodies: a 1 MiB JSON body holds ~30k edge
+// updates, far beyond the batch sizes the write pipeline is tuned for.
+const maxBodyBytes = 1 << 20
+
+// Handler serves the HTTP/JSON API over one dynppr.Service. Routing:
+//
+//	GET  /healthz             liveness (503 once the service is closed)
+//	GET  /stats               service + per-endpoint HTTP statistics
+//	GET  /sources             tracked sources
+//	POST /sources             add/remove tracked sources
+//	GET  /topk?source=&k=     top-k ranking towards source
+//	GET  /estimate?source=&v= single PPR estimate
+//	POST /query               batched topk/estimate queries
+//	POST /edges               edge-update batch
+//
+// The Handler itself is stateless beyond its metrics; it is safe for
+// concurrent use by the http.Server's connection goroutines because the
+// Service read path is lock-free and its write path is serialized.
+type Handler struct {
+	svc     *dynppr.Service
+	mux     *http.ServeMux
+	metrics *Metrics
+}
+
+// NewHandler builds the API handler over svc. The caller keeps ownership of
+// svc and is responsible for closing it.
+func NewHandler(svc *dynppr.Service) *Handler {
+	h := &Handler{
+		svc: svc,
+		mux: http.NewServeMux(),
+		metrics: newMetrics(
+			"/healthz", "/stats", "/sources", "/topk", "/estimate", "/query", "/edges",
+		),
+	}
+	h.route("/healthz", http.MethodGet, h.handleHealthz)
+	h.route("/stats", http.MethodGet, h.handleStats)
+	h.route("/sources", "", h.handleSources)
+	h.route("/topk", http.MethodGet, h.handleTopK)
+	h.route("/estimate", http.MethodGet, h.handleEstimate)
+	h.route("/query", http.MethodPost, h.handleQuery)
+	h.route("/edges", http.MethodPost, h.handleEdges)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// Metrics returns the handler's per-endpoint counters.
+func (h *Handler) Metrics() *Metrics { return h.metrics }
+
+// apiError carries an HTTP status with a message through the handler
+// helpers.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// errorStatus maps an error to its response status.
+func errorStatus(err error) int {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae.status
+	case errors.Is(err, dynppr.ErrUnknownSource):
+		return http.StatusNotFound
+	case errors.Is(err, dynppr.ErrServiceClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// route registers an endpoint that answers with JSON, wrapping it with
+// method filtering, timing and error accounting. An empty method admits any
+// (the endpoint dispatches internally).
+func (h *Handler) route(path, method string, fn func(*http.Request) (any, error)) {
+	h.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		var (
+			body   any
+			err    error
+			status = http.StatusOK
+		)
+		if method != "" && r.Method != method {
+			status = http.StatusMethodNotAllowed
+			err = fmt.Errorf("method %s not allowed on %s", r.Method, path)
+			w.Header().Set("Allow", method)
+		} else {
+			r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+			body, err = fn(r)
+			if err != nil {
+				status = errorStatus(err)
+			}
+		}
+		if err != nil {
+			body = ErrorResponse{Error: err.Error()}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		// The status line is already committed; an encode failure here can
+		// only mean the connection is gone.
+		_ = json.NewEncoder(w).Encode(body)
+		h.metrics.Observe(path, time.Since(start), status >= 400)
+	})
+}
+
+func decodeBody(r *http.Request, into any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return badRequest("bad request body: %v", err)
+	}
+	return nil
+}
+
+func parseVertex(r *http.Request, key string) (dynppr.VertexID, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, badRequest("missing query parameter %q", key)
+	}
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil || v < 0 {
+		return 0, badRequest("bad vertex id %q for %q", raw, key)
+	}
+	return dynppr.VertexID(v), nil
+}
+
+func (h *Handler) handleHealthz(*http.Request) (any, error) {
+	if h.svc.Closed() {
+		return nil, &apiError{status: http.StatusServiceUnavailable, msg: "service is closed"}
+	}
+	return HealthResponse{Status: "ok"}, nil
+}
+
+func (h *Handler) handleStats(*http.Request) (any, error) {
+	return StatsResponse{
+		Service: serviceStats(h.svc.Stats()),
+		HTTP:    h.metrics.Snapshot(),
+	}, nil
+}
+
+func (h *Handler) handleSources(r *http.Request) (any, error) {
+	switch r.Method {
+	case http.MethodGet:
+		return SourcesResponse{Sources: h.svc.Sources()}, nil
+	case http.MethodPost:
+		var req SourcesRequest
+		if err := decodeBody(r, &req); err != nil {
+			return nil, err
+		}
+		if len(req.Add) == 0 && len(req.Remove) == 0 {
+			return nil, badRequest("empty sources request: nothing to add or remove")
+		}
+		// Validate the whole batch against the current source table before
+		// applying anything, so a rejected request leaves state untouched
+		// and is safe to retry. (A concurrent /sources writer can still
+		// invalidate the batch between check and apply; that residual race
+		// surfaces as the per-call error below.)
+		tracked := make(map[dynppr.VertexID]bool)
+		for _, s := range h.svc.Sources() {
+			tracked[s] = true
+		}
+		for _, s := range req.Add {
+			if s < 0 {
+				return nil, badRequest("negative source id %d", s)
+			}
+			if tracked[s] {
+				return nil, &apiError{
+					status: http.StatusConflict,
+					msg:    fmt.Sprintf("source %d is already tracked", s),
+				}
+			}
+			tracked[s] = true
+		}
+		for _, s := range req.Remove {
+			if !tracked[s] {
+				return nil, fmt.Errorf("%w: %d", dynppr.ErrUnknownSource, s)
+			}
+			delete(tracked, s)
+		}
+		for _, s := range req.Add {
+			if err := h.svc.AddSource(s); err != nil {
+				if errors.Is(err, dynppr.ErrServiceClosed) {
+					return nil, err
+				}
+				return nil, &apiError{status: http.StatusConflict, msg: err.Error()}
+			}
+		}
+		for _, s := range req.Remove {
+			if err := h.svc.RemoveSource(s); err != nil {
+				return nil, err
+			}
+		}
+		return SourcesResponse{Sources: h.svc.Sources()}, nil
+	default:
+		return nil, &apiError{
+			status: http.StatusMethodNotAllowed,
+			msg:    fmt.Sprintf("method %s not allowed on /sources", r.Method),
+		}
+	}
+}
+
+func (h *Handler) topK(source dynppr.VertexID, k int) (*TopKResult, error) {
+	if k < 0 {
+		return nil, badRequest("k must be non-negative, got %d", k)
+	}
+	top, info, err := h.svc.TopKInfo(source, k)
+	if err != nil {
+		return nil, err
+	}
+	res := &TopKResult{Snapshot: snapshotMeta(info), K: k, Results: make([]VertexScore, len(top))}
+	for i, vs := range top {
+		res.Results[i] = VertexScore{Vertex: vs.Vertex, Score: vs.Score}
+	}
+	return res, nil
+}
+
+func (h *Handler) estimate(source, v dynppr.VertexID) (*EstimateResult, error) {
+	est, info, err := h.svc.EstimateInfo(source, v)
+	if err != nil {
+		return nil, err
+	}
+	return &EstimateResult{Snapshot: snapshotMeta(info), Vertex: v, Score: est}, nil
+}
+
+func (h *Handler) handleTopK(r *http.Request) (any, error) {
+	source, err := parseVertex(r, "source")
+	if err != nil {
+		return nil, err
+	}
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		k, err = strconv.Atoi(raw)
+		if err != nil {
+			return nil, badRequest("bad k %q", raw)
+		}
+	}
+	return h.topK(source, k)
+}
+
+func (h *Handler) handleEstimate(r *http.Request) (any, error) {
+	source, err := parseVertex(r, "source")
+	if err != nil {
+		return nil, err
+	}
+	v, err := parseVertex(r, "v")
+	if err != nil {
+		return nil, err
+	}
+	return h.estimate(source, v)
+}
+
+// handleQuery answers a batch of reads in one round trip. The batch is not a
+// transaction: each query reads its source's current snapshot independently,
+// and per-query failures (e.g. an untracked source) are reported inline so
+// one bad query cannot fail the batch.
+func (h *Handler) handleQuery(r *http.Request) (any, error) {
+	var req QueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Queries) == 0 {
+		return nil, badRequest("empty query batch")
+	}
+	resp := QueryResponse{Results: make([]QueryResult, len(req.Queries))}
+	for i, q := range req.Queries {
+		var res QueryResult
+		switch q.Kind {
+		case KindTopK:
+			top, err := h.topK(q.Source, q.K)
+			if err != nil {
+				res.Error = err.Error()
+			} else {
+				res.TopK = top
+			}
+		case KindEstimate:
+			est, err := h.estimate(q.Source, q.Vertex)
+			if err != nil {
+				res.Error = err.Error()
+			} else {
+				res.Estimate = est
+			}
+		default:
+			res.Error = fmt.Sprintf("unknown query kind %q (want %q or %q)", q.Kind, KindTopK, KindEstimate)
+		}
+		resp.Results[i] = res
+	}
+	return resp, nil
+}
+
+func (h *Handler) handleEdges(r *http.Request) (any, error) {
+	var req EdgesRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Updates) == 0 {
+		return nil, badRequest("empty edge batch")
+	}
+	batch := make(dynppr.Batch, len(req.Updates))
+	for i, u := range req.Updates {
+		up, err := u.ToUpdate()
+		if err != nil {
+			return nil, badRequest("update %d: %v", i, err)
+		}
+		batch[i] = up
+	}
+	res, err := h.svc.ApplyBatch(batch)
+	if err != nil {
+		return nil, err
+	}
+	return EdgesResponse{
+		Applied:       res.Applied,
+		Skipped:       res.Skipped,
+		LatencyMicros: res.Latency.Microseconds(),
+		Pushes:        res.Pushes,
+	}, nil
+}

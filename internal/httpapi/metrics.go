@@ -1,0 +1,100 @@
+package httpapi
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynppr/internal/metrics"
+)
+
+// ringSize bounds the latency samples kept per endpoint: percentiles are
+// computed over the most recent ringSize requests, so the metrics stay O(1)
+// in memory under sustained load.
+const ringSize = 8192
+
+// endpointMetrics collects one endpoint's counters. Requests and errors are
+// monotone atomics; latencies go into a fixed-size ring so Snapshot can hand
+// the recent window to metrics.LatencyStats for percentile math.
+type endpointMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+
+	mu      sync.Mutex
+	samples [ringSize]time.Duration
+	n       int64 // total samples ever observed; min(n, ringSize) are live
+}
+
+func (e *endpointMetrics) observe(d time.Duration, isErr bool) {
+	e.requests.Add(1)
+	if isErr {
+		e.errors.Add(1)
+	}
+	e.mu.Lock()
+	e.samples[e.n%ringSize] = d
+	e.n++
+	e.mu.Unlock()
+}
+
+func (e *endpointMetrics) stats(elapsed time.Duration) EndpointStats {
+	var lat metrics.LatencyStats
+	e.mu.Lock()
+	live := e.n
+	if live > ringSize {
+		live = ringSize
+	}
+	for i := int64(0); i < live; i++ {
+		lat.Observe(e.samples[i])
+	}
+	e.mu.Unlock()
+
+	out := EndpointStats{
+		Requests:   e.requests.Load(),
+		Errors:     e.errors.Load(),
+		MeanMicros: lat.Mean().Microseconds(),
+		P50Micros:  lat.Percentile(50).Microseconds(),
+		P95Micros:  lat.Percentile(95).Microseconds(),
+		P99Micros:  lat.Percentile(99).Microseconds(),
+		MaxMicros:  lat.Max().Microseconds(),
+	}
+	if elapsed > 0 {
+		out.QPS = float64(out.Requests) / elapsed.Seconds()
+	}
+	return out
+}
+
+// Metrics aggregates per-endpoint serving counters for one Handler. Observe
+// is safe for concurrent use; endpoints are registered up front so the hot
+// path never takes a map-wide lock.
+type Metrics struct {
+	start     time.Time
+	endpoints map[string]*endpointMetrics
+}
+
+// newMetrics registers the given endpoint names.
+func newMetrics(names ...string) *Metrics {
+	m := &Metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics, len(names))}
+	for _, n := range names {
+		m.endpoints[n] = &endpointMetrics{}
+	}
+	return m
+}
+
+// Observe records one request against the named endpoint. Unknown names are
+// dropped (they cannot occur for requests routed by the Handler).
+func (m *Metrics) Observe(endpoint string, d time.Duration, isErr bool) {
+	if e, ok := m.endpoints[endpoint]; ok {
+		e.observe(d, isErr)
+	}
+}
+
+// Snapshot returns per-endpoint statistics. QPS is measured over the
+// handler's lifetime; percentiles cover the most recent requests.
+func (m *Metrics) Snapshot() map[string]EndpointStats {
+	elapsed := time.Since(m.start)
+	out := make(map[string]EndpointStats, len(m.endpoints))
+	for name, e := range m.endpoints {
+		out[name] = e.stats(elapsed)
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+
+	"dynppr"
+)
+
+// ServerOptions configure the HTTP server.
+type ServerOptions struct {
+	// Addr is the listen address; an empty string selects ":8080" and a
+	// ":0" port asks the kernel for a free one (see Server.Addr).
+	Addr string
+	// ReadTimeout, WriteTimeout and IdleTimeout bound each connection's
+	// phases; zero values select production-safe defaults (5s/10s/60s). Edge
+	// batches are applied synchronously inside the request, so WriteTimeout
+	// is the effective cap on batch pipeline latency.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
+}
+
+func (o *ServerOptions) fill() {
+	if o.Addr == "" {
+		o.Addr = ":8080"
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 5 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 60 * time.Second
+	}
+}
+
+// Server runs the API handler on a TCP listener with timeouts and graceful
+// shutdown. Lifecycle: NewServer, Start (binds and serves in the
+// background), then Shutdown (drain in-flight requests) and optionally Wait
+// (observe the serve loop's exit).
+type Server struct {
+	handler *Handler
+	http    *http.Server
+	ln      net.Listener
+	serveCh chan error
+}
+
+// NewServer builds a server for svc with its own Handler. The service is not
+// owned: closing it is the caller's responsibility, after Shutdown.
+func NewServer(svc *dynppr.Service, opts ServerOptions) *Server {
+	opts.fill()
+	h := NewHandler(svc)
+	return &Server{
+		handler: h,
+		http: &http.Server{
+			Addr:              opts.Addr,
+			Handler:           h,
+			ReadTimeout:       opts.ReadTimeout,
+			ReadHeaderTimeout: opts.ReadTimeout,
+			WriteTimeout:      opts.WriteTimeout,
+			IdleTimeout:       opts.IdleTimeout,
+		},
+		serveCh: make(chan error, 1),
+	}
+}
+
+// Handler returns the server's API handler (for its metrics).
+func (s *Server) Handler() *Handler { return s.handler }
+
+// Start binds the listen address and starts serving in a background
+// goroutine. It returns once the listener is bound, so Addr is valid — and
+// the port reachable — when it returns.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.http.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	go func() {
+		err := s.http.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		s.serveCh <- err
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (resolving a requested ":0" port).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.http.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the base URL clients should dial.
+func (s *Server) URL() string {
+	addr := s.Addr()
+	if host, port, err := net.SplitHostPort(addr); err == nil {
+		// A wildcard listen address is not dialable; loopback is.
+		if host == "" || host == "::" || host == "0.0.0.0" {
+			addr = net.JoinHostPort("127.0.0.1", port)
+		}
+	}
+	return "http://" + addr
+}
+
+// Shutdown stops accepting connections and waits for in-flight requests to
+// drain, up to the context's deadline. It does not close the Service.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.http.Shutdown(ctx)
+}
+
+// Wait blocks until the serve loop exits (after Shutdown or a listener
+// failure) and returns its error, nil on clean shutdown.
+func (s *Server) Wait() error {
+	return <-s.serveCh
+}

@@ -150,6 +150,11 @@ func (l *LatencyStats) Observe(d time.Duration) { l.samples = append(l.samples, 
 // Count returns the number of samples.
 func (l *LatencyStats) Count() int { return len(l.samples) }
 
+// AddAll merges other's samples into l (for combining per-worker stats).
+func (l *LatencyStats) AddAll(other *LatencyStats) {
+	l.samples = append(l.samples, other.samples...)
+}
+
 // Mean returns the average latency (0 with no samples).
 func (l *LatencyStats) Mean() time.Duration {
 	if len(l.samples) == 0 {

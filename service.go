@@ -419,16 +419,8 @@ func (s *Service) Sources() []VertexID {
 // Estimate returns the PPR estimate of v with respect to source, read from
 // the source's current converged snapshot.
 func (s *Service) Estimate(source, v VertexID) (float64, error) {
-	src, err := s.lookup(source)
-	if err != nil {
-		return 0, err
-	}
-	snap := src.slot.Acquire()
-	if snap == nil {
-		return 0, fmt.Errorf("%w: %d", ErrUnknownSource, source)
-	}
-	defer snap.Release()
-	return snap.Estimate(v), nil
+	est, _, err := s.EstimateInfo(source, v)
+	return est, err
 }
 
 // Estimates returns a copy of source's full estimate vector.
@@ -500,16 +492,49 @@ func (s *Service) Info(source VertexID) (SnapshotInfo, error) {
 // TopK returns the k vertices with the largest PPR estimates towards source,
 // read from the current converged snapshot.
 func (s *Service) TopK(source VertexID, k int) ([]VertexScore, error) {
+	top, _, err := s.TopKInfo(source, k)
+	return top, err
+}
+
+// TopKInfo is TopK plus the metadata of the snapshot the ranking was read
+// from, so remote callers (the HTTP front end) can verify convergence and
+// epoch monotonicity of what they were served.
+func (s *Service) TopKInfo(source VertexID, k int) ([]VertexScore, SnapshotInfo, error) {
 	src, err := s.lookup(source)
 	if err != nil {
-		return nil, err
+		return nil, SnapshotInfo{}, err
 	}
 	snap := src.slot.Acquire()
 	if snap == nil {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownSource, source)
+		return nil, SnapshotInfo{}, fmt.Errorf("%w: %d", ErrUnknownSource, source)
 	}
 	defer snap.Release()
-	return topKScores(snap.RawEstimates(), k), nil
+	return topKScores(snap.RawEstimates(), k), snapshotInfo(snap), nil
+}
+
+// EstimateInfo is Estimate plus the metadata of the snapshot the value was
+// read from. Both values come from one Acquire, so the estimate is guaranteed
+// to belong to the reported epoch — the consistency check batched remote
+// reads rely on.
+func (s *Service) EstimateInfo(source, v VertexID) (float64, SnapshotInfo, error) {
+	src, err := s.lookup(source)
+	if err != nil {
+		return 0, SnapshotInfo{}, err
+	}
+	snap := src.slot.Acquire()
+	if snap == nil {
+		return 0, SnapshotInfo{}, fmt.Errorf("%w: %d", ErrUnknownSource, source)
+	}
+	defer snap.Release()
+	return snap.Estimate(v), snapshotInfo(snap), nil
+}
+
+// Closed reports whether Close has been called. Serving front ends use it to
+// fail health checks during shutdown while in-flight snapshot reads drain.
+func (s *Service) Closed() bool {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	return s.closed
 }
 
 // SourceStats reports per-source serving statistics.
