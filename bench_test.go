@@ -184,7 +184,11 @@ func buildBenchWorkload(b *testing.B, vertices, edges int) ([]dynppr.Edge, *dynp
 }
 
 func benchmarkTrackerBatch(b *testing.B, opts dynppr.Options) {
-	inserts, g, source := buildBenchWorkload(b, 3000, 60000)
+	benchmarkTrackerBatchSized(b, opts, 3000, 60000)
+}
+
+func benchmarkTrackerBatchSized(b *testing.B, opts dynppr.Options, vertices, edges int) {
+	inserts, g, source := buildBenchWorkload(b, vertices, edges)
 	tracker, err := dynppr.NewTracker(g, source, opts)
 	if err != nil {
 		b.Fatal(err)
@@ -320,6 +324,33 @@ func BenchmarkEngine_VertexCentric(b *testing.B) {
 	opts.Engine = dynppr.EngineVertexCentric
 	opts.Epsilon = 1e-6
 	benchmarkTrackerBatch(b, opts)
+}
+
+// BenchmarkBatchApplyEngines is the PR 3 performance-trajectory benchmark
+// (BENCH_PR3.json): batch apply on a large synthetic workload, sequential
+// versus the deterministic parallel engine versus the atomic parallel
+// engine. Run it with `-cpu 1,4` so GOMAXPROCS 1 and 4 both appear in the
+// stream; the CI gate asserts that deterministic-at-4 beats sequential-at-4
+// by at least 1.5x and diffs the whole stream against the committed
+// baseline with dppr-benchdiff.
+func BenchmarkBatchApplyEngines(b *testing.B) {
+	for _, e := range []struct {
+		name   string
+		engine dynppr.EngineKind
+	}{
+		{"sequential", dynppr.EngineSequential},
+		{"deterministic", dynppr.EngineDeterministic},
+		{"parallel-opt", dynppr.EngineParallel},
+	} {
+		b.Run("engine="+e.name, func(b *testing.B) {
+			opts := dynppr.DefaultOptions()
+			opts.Engine = e.engine
+			opts.Epsilon = 1e-6
+			// Workers/Parallelism 0 = GOMAXPROCS, so -cpu drives the
+			// degree of parallelism.
+			benchmarkTrackerBatchSized(b, opts, 10000, 200000)
+		})
+	}
 }
 
 // BenchmarkTrackerColdStart measures from-scratch convergence on a static

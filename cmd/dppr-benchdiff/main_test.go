@@ -1,0 +1,192 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const jsonStream = `{"Time":"t","Action":"start","Package":"dynppr"}
+{"Action":"output","Package":"dynppr","Output":"goos: linux\n"}
+{"Action":"output","Package":"dynppr","Output":"BenchmarkBatchApplyEngines/engine=sequential-4         \t       3\t 200000 ns/op\t 6000 updates/batch\n"}
+{"Action":"output","Package":"dynppr","Output":"BenchmarkBatchApplyEngines/engine=deterministic-4      \t       5\t 100000 ns/op\t 6000 updates/batch\n"}
+{"Action":"output","Package":"dynppr","Output":"BenchmarkBatchApplyEngines/engine=deterministic-4      \t       5\t 110000 ns/op\t 6000 updates/batch\n"}
+{"Action":"output","Package":"dynppr","Output":"PASS\n"}
+{"Action":"pass","Package":"dynppr"}
+`
+
+const rawStream = `goos: linux
+BenchmarkTrackerColdStart 	      10	 5000000 ns/op
+BenchmarkTrackerColdStart 	      10	 5500000 ns/op
+PASS
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ns   float64
+		ok   bool
+	}{
+		{"BenchmarkFoo-4 \t 100 \t 123.5 ns/op", "BenchmarkFoo-4", 123.5, true},
+		{"BenchmarkFoo 	 1 	 9 ns/op 	 3 extra/metric", "BenchmarkFoo", 9, true},
+		{"BenchmarkBar-8 	 2 	 7 B/op 	 11 ns/op", "BenchmarkBar-8", 11, true},
+		{"goos: linux", "", 0, false},
+		{"BenchmarkNoCount 	 x 	 9 ns/op", "", 0, false},
+		{"BenchmarkNoNsOp 	 3 	 9 B/op", "", 0, false},
+		{"PASS", "", 0, false},
+	}
+	for _, c := range cases {
+		name, ns, ok := parseBenchLine(c.line)
+		if ok != c.ok || name != c.name || ns != c.ns {
+			t.Errorf("parseBenchLine(%q) = (%q, %v, %v), want (%q, %v, %v)",
+				c.line, name, ns, ok, c.name, c.ns, c.ok)
+		}
+	}
+}
+
+// test2json flushes the benchmark name before the run and the timing after,
+// so one result line spans several Output events.
+const splitStream = `{"Action":"output","Package":"dynppr","Test":"BenchmarkX","Output":"BenchmarkX/engine=sequential-4         \t"}
+{"Action":"run","Package":"dynppr","Test":"BenchmarkX"}
+{"Action":"output","Package":"dynppr","Test":"BenchmarkX","Output":"       2\t  57928280 ns/op\t     20000 updates/batch\n"}
+{"Action":"output","Package":"dynppr","Output":"PASS\n"}
+`
+
+func TestParseStreamReassemblesSplitLines(t *testing.T) {
+	samples, err := parseStream(strings.NewReader(splitStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := samples["BenchmarkX/engine=sequential-4"]
+	if len(got) != 1 || got[0] != 57928280 {
+		t.Fatalf("samples = %v", samples)
+	}
+}
+
+func TestParseStreamJSONAndRaw(t *testing.T) {
+	samples, err := parseStream(strings.NewReader(jsonStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples["BenchmarkBatchApplyEngines/engine=deterministic-4"]) != 2 {
+		t.Fatalf("samples: %v", samples)
+	}
+	raw, err := parseStream(strings.NewReader(rawStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw["BenchmarkTrackerColdStart"]) != 2 {
+		t.Fatalf("raw samples: %v", raw)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	got := geomean([]float64{100, 400})
+	if math.Abs(got-200) > 1e-9 {
+		t.Fatalf("geomean = %v, want 200", got)
+	}
+}
+
+func TestRegressionGate(t *testing.T) {
+	oldF := writeTemp(t, "old.json", jsonStream)
+	// 10% slower across the board: passes the 15% gate, fails a 5% gate.
+	slower := strings.ReplaceAll(jsonStream, " 200000 ns/op", " 220000 ns/op")
+	slower = strings.ReplaceAll(slower, " 100000 ns/op", " 110000 ns/op")
+	slower = strings.ReplaceAll(slower, " 110000 ns/op", " 121000 ns/op")
+	newF := writeTemp(t, "new.json", slower)
+
+	var sb strings.Builder
+	if err := run([]string{"-old", oldF, "-new", newF, "-threshold", "0.15"}, &sb); err != nil {
+		t.Fatalf("10%% regression must pass the 15%% gate: %v\n%s", err, sb.String())
+	}
+	if err := run([]string{"-old", oldF, "-new", newF, "-threshold", "0.05"}, &sb); err == nil {
+		t.Fatal("10% regression must fail the 5% gate")
+	}
+	// Improvements never fail.
+	if err := run([]string{"-old", newF, "-new", oldF, "-threshold", "0.0"}, &sb); err != nil {
+		t.Fatalf("improvement must pass: %v", err)
+	}
+}
+
+func TestNormalizedGateCancelsMachineSpeed(t *testing.T) {
+	oldF := writeTemp(t, "old.json", jsonStream)
+	// A uniformly 3x slower machine: plain gate fails, normalized passes.
+	slower := strings.ReplaceAll(jsonStream, " 200000 ns/op", " 600000 ns/op")
+	slower = strings.ReplaceAll(slower, " 100000 ns/op", " 300000 ns/op")
+	slower = strings.ReplaceAll(slower, " 110000 ns/op", " 330000 ns/op")
+	newF := writeTemp(t, "new.json", slower)
+	var sb strings.Builder
+	if err := run([]string{"-old", oldF, "-new", newF, "-threshold", "0.15"}, &sb); err == nil {
+		t.Fatal("plain gate must fail on a uniformly slower stream")
+	}
+	if err := run([]string{"-normalize", "-old", oldF, "-new", newF, "-threshold", "0.15"}, &sb); err != nil {
+		t.Fatalf("normalized gate must cancel uniform slowdown: %v\n%s", err, sb.String())
+	}
+	// A relative regression of one benchmark trips the normalized gate even
+	// on the slower machine: sequential 4.5x slower while the rest is 3x.
+	skewed := strings.ReplaceAll(jsonStream, " 200000 ns/op", " 900000 ns/op")
+	skewed = strings.ReplaceAll(skewed, " 100000 ns/op", " 300000 ns/op")
+	skewed = strings.ReplaceAll(skewed, " 110000 ns/op", " 330000 ns/op")
+	skewF := writeTemp(t, "skew.json", skewed)
+	if err := run([]string{"-normalize", "-old", oldF, "-new", skewF, "-threshold", "0.15"}, &sb); err == nil {
+		t.Fatal("normalized gate must catch a relative regression")
+	}
+}
+
+func TestRegressionNoCommonBenchmarks(t *testing.T) {
+	oldF := writeTemp(t, "old.json", jsonStream)
+	newF := writeTemp(t, "new.json", rawStream)
+	var sb strings.Builder
+	if err := run([]string{"-old", oldF, "-new", newF}, &sb); err == nil {
+		t.Fatal("disjoint benchmark sets must fail, not vacuously pass")
+	}
+}
+
+func TestSpeedupGate(t *testing.T) {
+	in := writeTemp(t, "bench.json", jsonStream)
+	var sb strings.Builder
+	// sequential 200000 vs deterministic geomean ~104881: ratio ~1.9.
+	err := run([]string{"-in", in,
+		"-slow", "BenchmarkBatchApplyEngines/engine=sequential-4",
+		"-fast", "BenchmarkBatchApplyEngines/engine=deterministic-4",
+		"-min", "1.5"}, &sb)
+	if err != nil {
+		t.Fatalf("1.9x speedup must pass a 1.5x gate: %v\n%s", err, sb.String())
+	}
+	err = run([]string{"-in", in,
+		"-slow", "BenchmarkBatchApplyEngines/engine=sequential-4",
+		"-fast", "BenchmarkBatchApplyEngines/engine=deterministic-4",
+		"-min", "2.5"}, &sb)
+	if err == nil {
+		t.Fatal("1.9x speedup must fail a 2.5x gate")
+	}
+	err = run([]string{"-in", in, "-slow", "BenchmarkMissing", "-fast", "BenchmarkAlsoMissing"}, &sb)
+	if err == nil {
+		t.Fatal("missing benchmark names must fail")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Fatal("no mode selected must fail")
+	}
+	if err := run([]string{"-in", "x"}, &sb); err == nil {
+		t.Fatal("speedup mode without -slow/-fast must fail")
+	}
+	if err := run([]string{"-old", "/nonexistent", "-new", "/nonexistent"}, &sb); err == nil {
+		t.Fatal("unreadable files must fail")
+	}
+}

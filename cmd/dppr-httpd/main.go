@@ -45,8 +45,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		input    = fs.String("input", "", "override: load the initial graph from this edge-list file")
 		sources  = fs.Int("sources", 4, "number of top-degree sources to serve")
 		epsilon  = fs.Float64("epsilon", 1e-6, "error threshold")
-		engine   = fs.String("engine", "parallel", "engine: parallel, sequential, vertex-centric")
+		engine   = fs.String("engine", "parallel", "engine: parallel, sequential, vertex-centric, deterministic")
 		workers  = fs.Int("workers", 0, "per-source push workers (0 = GOMAXPROCS)")
+		par      = fs.Int("parallelism", 0, "deterministic-engine workers (0 = GOMAXPROCS; never affects results)")
 		pool     = fs.Int("pool", 0, "shard pool size (0 = GOMAXPROCS)")
 		seed     = fs.Int64("seed", 1, "random seed for generated graphs")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
@@ -71,6 +72,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	so := dynppr.DefaultServiceOptions()
 	so.Options.Epsilon = *epsilon
 	so.Options.Workers = *workers
+	so.Options.Parallelism = *par
 	so.PoolWorkers = *pool
 	if so.Options.Engine, err = parseEngine(*engine); err != nil {
 		return err
@@ -118,6 +120,8 @@ func parseEngine(name string) (dynppr.EngineKind, error) {
 		return dynppr.EngineSequential, nil
 	case "vertex-centric":
 		return dynppr.EngineVertexCentric, nil
+	case "deterministic":
+		return dynppr.EngineDeterministic, nil
 	default:
 		return 0, fmt.Errorf("unknown engine %q", name)
 	}

@@ -42,8 +42,9 @@ func run(args []string, out io.Writer) error {
 		slides   = fs.Int("slides", 20, "number of window slides to stream")
 		readers  = fs.Int("readers", 4, "query goroutines hammering the read path")
 		epsilon  = fs.Float64("epsilon", 1e-6, "error threshold")
-		engine   = fs.String("engine", "parallel", "engine: parallel, sequential, vertex-centric")
+		engine   = fs.String("engine", "parallel", "engine: parallel, sequential, vertex-centric, deterministic")
 		workers  = fs.Int("workers", 0, "per-source push workers (0 = GOMAXPROCS)")
+		par      = fs.Int("parallelism", 0, "deterministic-engine workers (0 = GOMAXPROCS; never affects results)")
 		pool     = fs.Int("pool", 0, "shard pool size (0 = GOMAXPROCS)")
 		topK     = fs.Int("top", 5, "number of top-ranked vertices to print per source")
 		seed     = fs.Int64("seed", 1, "random seed")
@@ -77,6 +78,7 @@ func run(args []string, out io.Writer) error {
 	so := dynppr.DefaultServiceOptions()
 	so.Options.Epsilon = *epsilon
 	so.Options.Workers = *workers
+	so.Options.Parallelism = *par
 	so.PoolWorkers = *pool
 	switch *engine {
 	case "parallel":
@@ -85,6 +87,8 @@ func run(args []string, out io.Writer) error {
 		so.Options.Engine = dynppr.EngineSequential
 	case "vertex-centric":
 		so.Options.Engine = dynppr.EngineVertexCentric
+	case "deterministic":
+		so.Options.Engine = dynppr.EngineDeterministic
 	default:
 		return fmt.Errorf("unknown engine %q", *engine)
 	}

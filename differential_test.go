@@ -25,6 +25,7 @@ func allEngineConfigs() []engineConfig {
 		{"parallel-dupdetect", dynppr.EngineParallel, dynppr.VariantDupDetect},
 		{"parallel-vanilla", dynppr.EngineParallel, dynppr.VariantVanilla},
 		{"vertex-centric", dynppr.EngineVertexCentric, dynppr.VariantOpt},
+		{"deterministic", dynppr.EngineDeterministic, dynppr.VariantOpt},
 	}
 }
 
@@ -94,6 +95,7 @@ func TestDifferentialEngines(t *testing.T) {
 				opts.Variant = c.variant
 				opts.Epsilon = epsilon
 				opts.Workers = 2
+				opts.Parallelism = 2
 				tr, err := dynppr.NewTracker(dynppr.GraphFromEdges(initial), source, opts)
 				if err != nil {
 					t.Fatalf("%s: %v", c.name, err)
@@ -171,6 +173,7 @@ func buildDifferentialTrackers(t *testing.T, initial []dynppr.Edge, source dynpp
 		opts.Variant = c.variant
 		opts.Epsilon = epsilon
 		opts.Workers = 2
+		opts.Parallelism = 2
 		tr, err := dynppr.NewTracker(dynppr.GraphFromEdges(initial), source, opts)
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
@@ -229,26 +232,20 @@ func replayAndCompare(t *testing.T, configs []engineConfig, trackers []*dynppr.T
 	}
 }
 
-// TestDifferentialDeleteHeavy replays a stream dominated by deletions —
-// starting from the full edge universe and tearing most of it down — so the
-// engines' deletion invariant-restoration path, not just the insert path,
-// carries the differential comparison.
-func TestDifferentialDeleteHeavy(t *testing.T) {
-	const epsilon = 1e-5
+// deleteHeavyScenario builds the delete-heavy workload: the tracker starts
+// on the full edge universe and a 3-deletes-to-1-insert stream tears most of
+// it down, with some deletes hitting edges already gone (the no-op path).
+func deleteHeavyScenario(t *testing.T) (initial []dynppr.Edge, source dynppr.VertexID, stream []dynppr.Batch) {
+	t.Helper()
 	universe, err := dynppr.GenerateEdges(dynppr.SyntheticConfig{
 		Model: dynppr.ModelBarabasiAlbert, Vertices: 120, Edges: 700, Seed: 53,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	source := dynppr.GraphFromEdges(universe).TopDegreeVertices(1)[0]
-	configs, trackers := buildDifferentialTrackers(t, universe, source, epsilon)
-
-	// 3 deletes to 1 insert: the graph shrinks through the run, and some
-	// deletes hit edges already gone (the no-op path).
+	source = dynppr.GraphFromEdges(universe).TopDegreeVertices(1)[0]
 	rng := rand.New(rand.NewSource(54))
 	present := append([]dynppr.Edge(nil), universe...)
-	stream := make([]dynppr.Batch, 0, 6)
 	for b := 0; b < 6; b++ {
 		batch := make(dynppr.Batch, 0, 80)
 		for i := 0; i < 80; i++ {
@@ -265,18 +262,14 @@ func TestDifferentialDeleteHeavy(t *testing.T) {
 		}
 		stream = append(stream, batch)
 	}
-	replayAndCompare(t, configs, trackers, stream, epsilon)
-
-	if got := trackers[0].Graph().NumEdges(); got >= len(universe)/2 {
-		t.Fatalf("stream was not delete-heavy: %d of %d edges remain", got, len(universe))
-	}
+	return universe, source, stream
 }
 
-// TestDifferentialSlidingWindow replays the paper's sliding-window workload
-// with a window much smaller than the graph, so every slide is half inserts
-// and half deletes and the entire edge set turns over during the run.
-func TestDifferentialSlidingWindow(t *testing.T) {
-	const epsilon = 1e-5
+// slidingWindowScenario builds the paper's sliding-window workload with a
+// window much smaller than the graph, so every slide is half inserts and
+// half deletes and the entire edge set turns over during the run.
+func slidingWindowScenario(t *testing.T) (initial []dynppr.Edge, source dynppr.VertexID, batches []dynppr.Batch) {
+	t.Helper()
 	universe, err := dynppr.GenerateEdges(dynppr.SyntheticConfig{
 		Model: dynppr.ModelRMAT, Vertices: 120, Edges: 900, Seed: 61,
 	})
@@ -290,10 +283,7 @@ func TestDifferentialSlidingWindow(t *testing.T) {
 	if window.Size() >= len(universe)/2 {
 		t.Fatalf("window %d is not smaller than the graph (%d edges)", window.Size(), len(universe))
 	}
-	source := dynppr.GraphFromEdges(initial).TopDegreeVertices(1)[0]
-	configs, trackers := buildDifferentialTrackers(t, initial, source, epsilon)
-
-	var batches []dynppr.Batch
+	source = dynppr.GraphFromEdges(initial).TopDegreeVertices(1)[0]
 	for {
 		b := window.Slide(45)
 		if len(b) == 0 {
@@ -304,7 +294,112 @@ func TestDifferentialSlidingWindow(t *testing.T) {
 	if len(batches) < 10 {
 		t.Fatalf("expected a long slide sequence, got %d batches", len(batches))
 	}
+	return initial, source, batches
+}
+
+// TestDifferentialDeleteHeavy replays the delete-heavy stream so the
+// engines' deletion invariant-restoration path, not just the insert path,
+// carries the differential comparison.
+func TestDifferentialDeleteHeavy(t *testing.T) {
+	const epsilon = 1e-5
+	initial, source, stream := deleteHeavyScenario(t)
+	configs, trackers := buildDifferentialTrackers(t, initial, source, epsilon)
+	replayAndCompare(t, configs, trackers, stream, epsilon)
+
+	if got := trackers[0].Graph().NumEdges(); got >= len(initial)/2 {
+		t.Fatalf("stream was not delete-heavy: %d of %d edges remain", got, len(initial))
+	}
+}
+
+// TestDifferentialSlidingWindow replays the sliding-window workload across
+// every engine.
+func TestDifferentialSlidingWindow(t *testing.T) {
+	const epsilon = 1e-5
+	initial, source, batches := slidingWindowScenario(t)
+	configs, trackers := buildDifferentialTrackers(t, initial, source, epsilon)
 	replayAndCompare(t, configs, trackers, batches, epsilon)
+}
+
+// TestDifferentialDeterministicBitIdentical is the determinism contract of
+// EngineDeterministic at the public API: across the delete-heavy and
+// sliding-window scenarios, trackers running at parallelism 1, 2 and 8
+// produce estimate and residual vectors with exactly the same float64 bits
+// after every batch — the parallelism-1 run is the engine's own sequential
+// execution, so the parallel runs are bit-identical to the sequential one.
+// The suite runs under -race in CI, so it also stresses the engine's
+// barrier discipline.
+func TestDifferentialDeterministicBitIdentical(t *testing.T) {
+	const epsilon = 1e-5
+	scenarios := []struct {
+		name  string
+		build func(*testing.T) ([]dynppr.Edge, dynppr.VertexID, []dynppr.Batch)
+	}{
+		{"delete-heavy", deleteHeavyScenario},
+		{"sliding-window", slidingWindowScenario},
+	}
+	parallelisms := []int{1, 2, 8}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			initial, source, stream := sc.build(t)
+			trackers := make([]*dynppr.Tracker, len(parallelisms))
+			for i, par := range parallelisms {
+				opts := dynppr.DefaultOptions()
+				opts.Engine = dynppr.EngineDeterministic
+				opts.Epsilon = epsilon
+				opts.Parallelism = par
+				tr, err := dynppr.NewTracker(dynppr.GraphFromEdges(initial), source, opts)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				trackers[i] = tr
+			}
+			for b, batch := range stream {
+				for i, tr := range trackers {
+					tr.ApplyBatch(batch)
+					if !tr.Converged() {
+						t.Fatalf("parallelism %d: not converged after batch %d", parallelisms[i], b)
+					}
+				}
+				ref := trackers[0]
+				refEst := ref.Estimates()
+				for i, tr := range trackers[1:] {
+					est := tr.Estimates()
+					if len(est) != len(refEst) {
+						t.Fatalf("parallelism %d: vector length %d vs %d after batch %d",
+							parallelisms[i+1], len(est), len(refEst), b)
+					}
+					for v := range est {
+						if math.Float64bits(est[v]) != math.Float64bits(refEst[v]) {
+							t.Fatalf("parallelism %d: batch %d vertex %d: estimate bits %x differ from sequential %x",
+								parallelisms[i+1], b, v, math.Float64bits(est[v]), math.Float64bits(refEst[v]))
+						}
+						rv, refv := tr.Residual(dynppr.VertexID(v)), ref.Residual(dynppr.VertexID(v))
+						if math.Float64bits(rv) != math.Float64bits(refv) {
+							t.Fatalf("parallelism %d: batch %d vertex %d: residual bits differ",
+								parallelisms[i+1], b, v)
+						}
+					}
+				}
+			}
+			// The deterministic engine must also honour the ε contract.
+			oracle, err := power.ReverseGraph(trackers[0].Graph(), source, power.Options{
+				Alpha: 0.15, Tolerance: 1e-13, MaxIterations: 20_000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var worst float64
+			for v, est := range trackers[0].Estimates() {
+				if d := math.Abs(est - oracle[v]); d > worst {
+					worst = d
+				}
+			}
+			if worst > epsilon {
+				t.Fatalf("max error vs oracle %v exceeds ε %v", worst, epsilon)
+			}
+		})
+	}
 }
 
 // TestDifferentialInvariant checks the structural property the scheme rests
@@ -326,6 +421,7 @@ func TestDifferentialInvariant(t *testing.T) {
 		opts.Variant = c.variant
 		opts.Epsilon = 1e-4
 		opts.Workers = 2
+		opts.Parallelism = 2
 		tr, err := dynppr.NewTracker(g, 0, opts)
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)

@@ -12,7 +12,12 @@
 //   - the parallel push (Algorithm 3),
 //   - the optimized parallel push with eager propagation and local duplicate
 //     detection (Algorithm 4, the paper's contribution),
-//   - a vertex-centric (Ligra-style) formulation, provided as a baseline.
+//   - a vertex-centric (Ligra-style) formulation, provided as a baseline,
+//   - a deterministic parallel push (EngineDeterministic): the frontier is
+//     partitioned into fixed stripes with per-stripe delta buffers merged by
+//     an ordered reduction, so the resulting vectors are bit-identical at
+//     every Options.Parallelism — replaying a batch log reproduces snapshots
+//     exactly (see internal/parallel).
 //
 // The value tracked for source s is the contribution PPR: Estimate(v)
 // approximates the probability that a random walk started at v, terminating
@@ -53,6 +58,7 @@ import (
 	"dynppr/internal/fp"
 	"dynppr/internal/graph"
 	"dynppr/internal/metrics"
+	"dynppr/internal/parallel"
 	"dynppr/internal/power"
 	"dynppr/internal/push"
 	"dynppr/internal/stream"
@@ -119,6 +125,14 @@ const (
 	EngineSequential
 	// EngineVertexCentric is the Ligra-style vertex-centric baseline.
 	EngineVertexCentric
+	// EngineDeterministic is the deterministic parallel push of
+	// internal/parallel: per-stripe delta buffers merged by an ordered
+	// reduction make the estimate and residual vectors bit-identical for
+	// every Options.Parallelism, with an adaptive cutover that runs small
+	// frontiers inline. Use it when reproducibility matters (replayable
+	// serving snapshots, differential testing) or when the atomic-add
+	// engines' scheduling noise is unwanted.
+	EngineDeterministic
 )
 
 // String names the engine kind.
@@ -130,6 +144,8 @@ func (k EngineKind) String() string {
 		return "sequential"
 	case EngineVertexCentric:
 		return "vertex-centric"
+	case EngineDeterministic:
+		return "deterministic"
 	default:
 		return fmt.Sprintf("engine(%d)", int(k))
 	}
@@ -171,6 +187,11 @@ type Options struct {
 	// Workers is the degree of parallelism for the parallel and
 	// vertex-centric engines; <= 0 selects GOMAXPROCS.
 	Workers int
+	// Parallelism is the degree of parallelism for EngineDeterministic;
+	// <= 0 (the default, "auto") selects GOMAXPROCS. Unlike Workers it never
+	// influences results: the deterministic engine produces bit-identical
+	// vectors at every Parallelism.
+	Parallelism int
 	// Mode selects batch versus per-update processing. Default BatchMode.
 	Mode UpdateMode
 }
@@ -205,6 +226,8 @@ func (o Options) buildEngine() (push.Engine, error) {
 			workers = fp.DefaultWorkers()
 		}
 		return vc.NewPPREngine(workers), nil
+	case EngineDeterministic:
+		return parallel.NewPushEngine(o.Parallelism), nil
 	default:
 		return nil, fmt.Errorf("dynppr: unknown engine kind %v", o.Engine)
 	}

@@ -18,8 +18,11 @@ import (
 // Restoring the forward invariant after an edge update (u, v) touches every
 // out-neighbor of u, so per-update maintenance costs O(dout(u)) instead of
 // the O(1) of the reverse formulation; prefer Tracker unless the application
-// specifically needs π_s. Only Alpha and Epsilon of the Options are used (the
-// forward engine is sequential).
+// specifically needs π_s. Of the Options, Alpha and Epsilon always apply;
+// setting Engine to EngineDeterministic routes the push through the
+// deterministic parallel schedule of internal/parallel (Parallelism workers,
+// bit-identical at any count) instead of the sequential FIFO push. The other
+// engine kinds have no forward implementation and fall back to sequential.
 //
 // Dangling convention: a walk reaching a vertex with no out-edges terminates
 // without attributing its remaining probability anywhere, so estimates sum to
@@ -39,8 +42,18 @@ func NewForwardTracker(g *Graph, source VertexID, opts Options) (*ForwardTracker
 	if err != nil {
 		return nil, err
 	}
-	st.Push([]graph.VertexID{source})
-	return &ForwardTracker{st: st, opts: opts}, nil
+	t := &ForwardTracker{st: st, opts: opts}
+	t.push([]graph.VertexID{source})
+	return t, nil
+}
+
+// push drains the state with the engine the options selected.
+func (t *ForwardTracker) push(candidates []graph.VertexID) {
+	if t.opts.Engine == EngineDeterministic {
+		t.st.PushParallel(t.opts.Parallelism, candidates)
+		return
+	}
+	t.st.Push(candidates)
 }
 
 // Source returns the tracked source vertex.
@@ -86,7 +99,7 @@ func (t *ForwardTracker) ApplyBatch(b Batch) BatchResult {
 			}
 		}
 	}
-	t.st.Push(touched)
+	t.push(touched)
 	return BatchResult{
 		Applied: applied,
 		Skipped: len(b) - applied,

@@ -52,7 +52,8 @@ func FuzzTrackerApplyBatch(f *testing.F) {
 		// them; the mutation space covers each engine with every sequence
 		// shape over time.
 		engines := []dynppr.EngineKind{
-			dynppr.EngineSequential, dynppr.EngineParallel, dynppr.EngineVertexCentric,
+			dynppr.EngineSequential, dynppr.EngineParallel,
+			dynppr.EngineVertexCentric, dynppr.EngineDeterministic,
 		}
 		var pick byte
 		if len(data) > 0 {
@@ -62,6 +63,7 @@ func FuzzTrackerApplyBatch(f *testing.F) {
 		opts.Engine = engines[int(pick)%len(engines)]
 		opts.Epsilon = 1e-5
 		opts.Workers = 2
+		opts.Parallelism = 2
 
 		tr, err := dynppr.NewTracker(dynppr.NewGraph(0), 3, opts)
 		if err != nil {

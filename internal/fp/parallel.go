@@ -16,6 +16,15 @@ func DefaultWorkers() int {
 	return n
 }
 
+// ClampWorkers normalizes a requested worker count: values <= 0 select
+// GOMAXPROCS (DefaultWorkers).
+func ClampWorkers(w int) int {
+	if w <= 0 {
+		return DefaultWorkers()
+	}
+	return w
+}
+
 // For runs body(i) for every i in [0, n) using up to workers goroutines.
 // Iterations are distributed in contiguous chunks to keep per-vertex state
 // access cache friendly, mirroring the grain-size scheduling of the CilkPlus

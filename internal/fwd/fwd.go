@@ -40,6 +40,7 @@ import (
 	"dynppr/internal/fp"
 	"dynppr/internal/graph"
 	"dynppr/internal/metrics"
+	"dynppr/internal/parallel"
 	"dynppr/internal/push"
 )
 
@@ -61,6 +62,10 @@ type State struct {
 
 	// Counters accumulates the work performed on this state. Never nil.
 	Counters *metrics.Counters
+
+	// par is the lazily built deterministic push machine used by
+	// PushParallel; it holds reusable per-vertex scratch buffers.
+	par *parallel.Machine
 }
 
 // NewState creates the forward state: all mass starts as residual at the
@@ -208,6 +213,36 @@ func (st *State) InvariantError() float64 {
 		}
 	}
 	return worst
+}
+
+// PushParallel drains every residual exceeding ε with the deterministic
+// parallel schedule of internal/parallel: frontier vertex u sends
+// (1−α)·r(u)/dout(u) to each of its out-neighbors (a dangling u propagates
+// nothing — the dangling convention of the package comment). The result is
+// bit-identical for every workers value, but differs in the last ulps from
+// the sequential FIFO Push, whose push order is different; both stay within
+// the ε contract. workers <= 0 selects GOMAXPROCS.
+func (st *State) PushParallel(workers int, candidates []graph.VertexID) {
+	if st.par == nil || st.par.Workers() != fp.ClampWorkers(workers) {
+		st.par = parallel.NewMachine(workers, 0)
+	}
+	g := st.g
+	alpha := st.cfg.Alpha
+	counters := st.Counters
+	w := 1 - alpha
+	propagate := func(d *parallel.Delta, u int32, ru float64) {
+		out := g.OutNeighbors(u)
+		if len(out) == 0 {
+			return
+		}
+		counters.AddPropagations(int64(len(out)))
+		share := w * ru / float64(len(out))
+		for _, v := range out {
+			d.Add(v, share)
+		}
+	}
+	st.par.Converge(st.p, st.r, alpha, st.cfg.Epsilon,
+		parallel.SortedCandidates(candidates, st.r.Len()), counters, propagate)
 }
 
 // Push drains every residual exceeding ε, sequentially, pushing to

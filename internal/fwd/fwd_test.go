@@ -258,3 +258,65 @@ func TestForwardInvariantProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestForwardPushParallelDeterministic checks the deterministic parallel
+// forward push: at parallelism 1, 2 and 8 the estimate and residual vectors
+// carry identical float64 bits over a dynamic stream, the invariant stays
+// exact, and the converged state matches the oracle within the
+// contribution-weighted bound.
+func TestForwardPushParallelDeterministic(t *testing.T) {
+	cfg := Config{Alpha: 0.2, Epsilon: 1e-6}
+	extra, err := gen.EdgeList(gen.Config{Model: gen.ErdosRenyi, Vertices: 120, Edges: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *State {
+		g := ringGraph(120, 800, 5)
+		source := g.TopDegreeVertices(1)[0]
+		st, err := NewState(g, source, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.PushParallel(workers, []graph.VertexID{source})
+		if !st.Converged() {
+			t.Fatalf("w%d: cold start not converged", workers)
+		}
+		var touched []graph.VertexID
+		for _, e := range extra {
+			ts, changed, err := st.ApplyInsert(e.U, e.V)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if changed {
+				touched = append(touched, ts...)
+			}
+		}
+		st.PushParallel(workers, touched)
+		if !st.Converged() {
+			t.Fatalf("w%d: not converged after inserts", workers)
+		}
+		if e := st.InvariantError(); e > 1e-9 {
+			t.Fatalf("w%d: invariant error %v", workers, e)
+		}
+		return st
+	}
+	ref := run(1)
+	refP := ref.Estimates()
+	for _, workers := range []int{2, 8} {
+		st := run(workers)
+		p := st.Estimates()
+		for v := range p {
+			if math.Float64bits(p[v]) != math.Float64bits(refP[v]) {
+				t.Fatalf("w%d: estimate bits differ at vertex %d", workers, v)
+			}
+			if math.Float64bits(st.Residual(graph.VertexID(v))) != math.Float64bits(ref.Residual(graph.VertexID(v))) {
+				t.Fatalf("w%d: residual bits differ at vertex %d", workers, v)
+			}
+		}
+	}
+	oracle, err := power.ForwardGraph(ref.Graph(), ref.Source(), power.Options{Alpha: cfg.Alpha, Tolerance: 1e-13, MaxIterations: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkForwardError(t, ref, ref.Graph(), oracle, cfg)
+}

@@ -1,0 +1,56 @@
+package parallel
+
+import (
+	"fmt"
+
+	"dynppr/internal/graph"
+	"dynppr/internal/push"
+)
+
+// PushEngine runs the deterministic parallel push over a contribution-PPR
+// state (the reverse formulation of internal/push): frontier vertex u sends
+// (1−α)·r(u)/dout(v) to every in-neighbor v. It implements push.Engine and
+// produces bit-identical results at every worker count — see the package
+// comment for the schedule.
+type PushEngine struct {
+	m *Machine
+}
+
+// NewPushEngine returns a deterministic engine with the given degree of
+// parallelism (<= 0 selects GOMAXPROCS) and the default adaptive cutover.
+func NewPushEngine(workers int) *PushEngine {
+	return &PushEngine{m: NewMachine(workers, 0)}
+}
+
+// NewPushEngineCutover is NewPushEngine with an explicit cutover, exposed
+// for tests that pin the inline and fanned-out paths.
+func NewPushEngineCutover(workers, cutover int) *PushEngine {
+	return &PushEngine{m: NewMachine(workers, cutover)}
+}
+
+// Name implements push.Engine.
+func (e *PushEngine) Name() string {
+	return fmt.Sprintf("deterministic-w%d", e.m.Workers())
+}
+
+// Workers returns the configured degree of parallelism.
+func (e *PushEngine) Workers() int { return e.m.Workers() }
+
+// Run implements push.Engine.
+func (e *PushEngine) Run(st *push.State, candidates []graph.VertexID) {
+	g := st.Graph()
+	p, r := st.Vectors()
+	alpha := st.Alpha()
+	counters := st.Counters
+	w := 1 - alpha
+	propagate := func(d *Delta, u int32, ru float64) {
+		in := g.InNeighbors(u)
+		counters.AddPropagations(int64(len(in)))
+		counters.AddRandomAccesses(int64(len(in)))
+		share := w * ru
+		for _, v := range in {
+			d.Add(v, share/float64(g.OutDegree(v)))
+		}
+	}
+	e.m.Converge(p, r, alpha, st.Epsilon(), SortedCandidates(candidates, r.Len()), counters, propagate)
+}

@@ -1,0 +1,298 @@
+// Package parallel implements a deterministic parallel local push: the
+// active residual frontier is partitioned into a fixed number of stripes,
+// each stripe accumulates its residual transfers into a private delta
+// buffer, and the buffers are merged by an ordered reduction — every vertex
+// is merged by exactly one goroutine, summing the stripe deltas in fixed
+// stripe order. Because the stripe partition depends only on the frontier
+// (never on the worker count) and every floating-point addition happens in a
+// schedule-independent order, the engine produces bit-identical estimate and
+// residual vectors at any degree of parallelism: running with 8 workers
+// yields exactly the float64 bits of the single-worker (sequential)
+// execution.
+//
+// This determinism is what the atomic-add engines of internal/push cannot
+// offer: there, the order in which concurrent AtomicAdd calls land on a
+// residual depends on goroutine scheduling, so two runs differ in the last
+// ulps even though both stay within ε. The deterministic engine makes the
+// serving layer reproducible — replaying a batch log yields identical
+// snapshots — at the cost of a round-synchronous schedule.
+//
+// The round schedule is the eager-propagation order of the paper's Algorithm
+// 4: every frontier vertex propagates the residual it holds at round start,
+// and the self-update afterwards subtracts exactly the propagated amount, so
+// residual mass arriving mid-round is kept rather than lost to the next
+// round. Within a round there are four barrier-separated sessions:
+//
+//  1. Stripe propagation: stripe k owns the contiguous frontier range
+//     [k·F/S, (k+1)·F/S) and streams each vertex's transfers into its
+//     private Delta buffer. No shared writes. A stripe reads its own
+//     accumulated delta on top of the round-start residual (intra-stripe
+//     absorption), recovering part of the sequential engine's Gauss–Seidel
+//     efficiency without giving up determinism.
+//  2. Ordered merge: the union of touched vertices is collected in stripe
+//     order, then each touched vertex v — owned by exactly one iteration —
+//     receives r(v) += Σ_k delta_k(v) with k ascending. Adding the zero
+//     entries of non-touching stripes is exact, so the sum is independent of
+//     which stripes touched v.
+//  3. Self-update: every frontier vertex u commits p(u) += α·taken(u) and
+//     r(u) -= taken(u). Frontier vertices are distinct, so no shared writes.
+//  4. Frontier generation: touched vertices still violating the threshold
+//     form the next frontier, in the (deterministic) order the merge
+//     collected them.
+//
+// Small frontiers fall back to an inline single-worker execution of the very
+// same schedule (the adaptive cutover), so the fallback is free of goroutine
+// fan-out overhead and still bit-identical.
+package parallel
+
+import (
+	"slices"
+
+	"dynppr/internal/fp"
+	"dynppr/internal/metrics"
+)
+
+// NumStripes is the number of frontier stripes (and private delta buffers).
+// It is a fixed constant — independent of the worker count — because the
+// stripe partition determines the floating-point summation order: changing
+// it changes the last-ulp rounding of results (never their ε-accuracy).
+// Propagation parallelism is therefore capped at NumStripes. Fewer stripes
+// also mean more intra-stripe absorption (see round) and a cheaper merge,
+// at the cost of the parallelism cap.
+const NumStripes = 8
+
+// DefaultCutover is the frontier size below which a round runs inline on the
+// calling goroutine: fan-out overhead dominates for small frontiers, and the
+// incremental batches of a converged tracker rarely activate more than a few
+// dozen vertices.
+const DefaultCutover = 128
+
+// mergeGrain is the dynamic-scheduling block size for the merge and
+// self-update sessions.
+const mergeGrain = 64
+
+// Delta is one stripe's private residual-delta buffer: a dense float64
+// vector plus the list of touched vertices in first-touch order. Within one
+// push phase every increment has the same sign and is non-zero, so a zero
+// entry means "untouched" and no separate membership structure is needed.
+type Delta struct {
+	buf     []float64
+	touched []int32
+}
+
+// Add accumulates inc into the delta of v. inc must be non-zero and carry
+// the sign of the current phase (see the Delta invariant above).
+func (d *Delta) Add(v int32, inc float64) {
+	if d.buf[v] == 0 {
+		d.touched = append(d.touched, v)
+	}
+	d.buf[v] += inc
+}
+
+// PropagateFunc streams the residual transfers of frontier vertex u, whose
+// residual at round start is ru, into the stripe's delta buffer via d.Add.
+// Implementations must be pure: same (u, ru) in, same d.Add calls out,
+// reading only state that is constant for the duration of the round (the
+// graph topology).
+type PropagateFunc func(d *Delta, u int32, ru float64)
+
+// Machine holds the reusable buffers and scheduling parameters of the
+// deterministic push. A Machine is stateful scratch space, not shared state:
+// like the engines of internal/push it must be driven from one goroutine at
+// a time (the parallelism lives inside Converge).
+type Machine struct {
+	workers int
+	cutover int
+
+	stripes [NumStripes]Delta
+	taken   []float64
+	marked  []bool
+	merged  []int32
+	// spare is the frontier buffer not currently in use; Converge
+	// double-buffers the frontier through it.
+	spare []int32
+}
+
+// NewMachine returns a machine running up to workers goroutines per session
+// (workers <= 0 selects GOMAXPROCS) with the given adaptive cutover
+// (cutover <= 0 selects DefaultCutover). The worker count never influences
+// results, only wall-clock time.
+func NewMachine(workers, cutover int) *Machine {
+	workers = fp.ClampWorkers(workers)
+	if cutover <= 0 {
+		cutover = DefaultCutover
+	}
+	return &Machine{workers: workers, cutover: cutover}
+}
+
+// Workers returns the configured degree of parallelism.
+func (m *Machine) Workers() int { return m.workers }
+
+// Cutover returns the frontier size below which rounds run inline.
+func (m *Machine) Cutover() int { return m.cutover }
+
+// ensure grows the per-vertex buffers to cover n vertices.
+func (m *Machine) ensure(n int) {
+	if len(m.marked) >= n {
+		return
+	}
+	m.marked = append(m.marked, make([]bool, n-len(m.marked))...)
+	for k := range m.stripes {
+		d := &m.stripes[k]
+		d.buf = append(d.buf, make([]float64, n-len(d.buf))...)
+	}
+}
+
+// Converge drains every residual whose absolute value exceeds eps, first the
+// positive then the negative phase, exactly like the engines of
+// internal/push. candidates lists the vertices whose residual may violate
+// the threshold, sorted ascending and deduplicated (nil requests a full
+// scan); p and r are the estimate/residual vectors, already sized to the
+// graph. The result is bit-identical for every workers value.
+func (m *Machine) Converge(p, r *fp.Float64Vector, alpha, eps float64, candidates []int32, counters *metrics.Counters, propagate PropagateFunc) {
+	m.ensure(r.Len())
+	m.convergePhase(p, r, alpha, eps, candidates, true, counters, propagate)
+	m.convergePhase(p, r, alpha, eps, candidates, false, counters, propagate)
+}
+
+func (m *Machine) convergePhase(p, r *fp.Float64Vector, alpha, eps float64, candidates []int32, positive bool, counters *metrics.Counters, propagate PropagateFunc) {
+	cond := func(x float64) bool { return x > eps }
+	if !positive {
+		cond = func(x float64) bool { return x < -eps }
+	}
+	frontier := m.initialFrontier(r, candidates, cond)
+	for len(frontier) > 0 {
+		counters.ObserveIteration(len(frontier))
+		frontier = m.round(p, r, alpha, frontier, cond, counters, propagate)
+	}
+}
+
+// initialFrontier filters the candidates (or all vertices) by the phase
+// condition into the spare frontier buffer. candidates are sorted, so the
+// result is sorted.
+func (m *Machine) initialFrontier(r *fp.Float64Vector, candidates []int32, cond func(float64) bool) []int32 {
+	frontier := m.spare[:0]
+	if candidates == nil {
+		n := r.Len()
+		for v := 0; v < n; v++ {
+			if cond(r.Get(v)) {
+				frontier = append(frontier, int32(v))
+			}
+		}
+	} else {
+		for _, v := range candidates {
+			if cond(r.Get(int(v))) {
+				frontier = append(frontier, v)
+			}
+		}
+	}
+	m.spare = nil
+	return frontier
+}
+
+// round executes one barrier-synchronous push round over the frontier and
+// returns the next frontier. The returned slice reuses m's buffers; the
+// frontier passed in is recycled as the next spare buffer.
+func (m *Machine) round(p, r *fp.Float64Vector, alpha float64, frontier []int32, cond func(float64) bool, counters *metrics.Counters, propagate PropagateFunc) []int32 {
+	workers := m.workers
+	if len(frontier) <= m.cutover {
+		// Adaptive cutover: same schedule, same arithmetic, inline — the
+		// fp helpers run the loop on the calling goroutine for workers 1.
+		workers = 1
+	}
+	F := len(frontier)
+	if cap(m.taken) < F {
+		m.taken = make([]float64, F)
+	}
+	taken := m.taken[:F]
+
+	// Session 1: stripe propagation. Stripe k owns the contiguous frontier
+	// range [k·F/S, (k+1)·F/S); the partition depends only on F. The
+	// residual taken from u is the round-start value plus whatever this
+	// stripe itself has already accumulated on u (intra-stripe absorption):
+	// the stripe's own deltas are produced by its fixed sequential scan, so
+	// reading them is as deterministic as reading r, and the mass they carry
+	// is propagated this round instead of costing an extra round.
+	fp.ForDynamic(NumStripes, workers, 1, func(k int) {
+		d := &m.stripes[k]
+		lo, hi := k*F/NumStripes, (k+1)*F/NumStripes
+		for i := lo; i < hi; i++ {
+			u := frontier[i]
+			ru := r.Get(int(u)) + d.buf[u]
+			taken[i] = ru
+			propagate(d, u, ru)
+		}
+	})
+	counters.AddPushes(int64(F))
+
+	// Session 2: ordered merge. Collect the union of touched vertices in
+	// stripe order (cheap, sequential), then merge each exactly once,
+	// summing stripe deltas in ascending stripe order. Zero entries of
+	// stripes that did not touch v contribute exactly nothing, so the sum
+	// does not depend on which stripes touched v.
+	merged := m.merged[:0]
+	for k := range m.stripes {
+		for _, v := range m.stripes[k].touched {
+			if !m.marked[v] {
+				m.marked[v] = true
+				merged = append(merged, v)
+			}
+		}
+	}
+	fp.ForDynamic(len(merged), workers, mergeGrain, func(i int) {
+		v := int(merged[i])
+		s := r.Get(v)
+		for k := range m.stripes {
+			s += m.stripes[k].buf[v]
+			m.stripes[k].buf[v] = 0
+		}
+		r.Set(v, s)
+	})
+
+	// Session 3: self-update. Every frontier vertex commits the residual it
+	// propagated: the estimate gains the α share, the residual loses what
+	// was sent. A frontier vertex untouched by session 2 ends at exactly 0.
+	fp.ForDynamic(F, workers, mergeGrain, func(i int) {
+		u := int(frontier[i])
+		ru := taken[i]
+		p.Set(u, p.Get(u)+alpha*ru)
+		r.Set(u, r.Get(u)-ru)
+	})
+
+	// Session 4: frontier generation from the touched set. The merged list
+	// was collected in stripe-then-first-touch order, which depends only on
+	// the round's inputs, so the next frontier needs no sorting to be
+	// deterministic.
+	next := m.spare[:0]
+	for _, v := range merged {
+		m.marked[v] = false
+		if cond(r.Get(int(v))) {
+			next = append(next, v)
+		}
+	}
+	for k := range m.stripes {
+		m.stripes[k].touched = m.stripes[k].touched[:0]
+	}
+	counters.AddEnqueues(int64(len(next)))
+
+	m.merged = merged[:0]
+	m.spare = frontier[:0]
+	return next
+}
+
+// SortedCandidates prepares a candidate list for Converge: out-of-range and
+// negative ids are dropped, the rest sorted ascending and deduplicated. nil
+// stays nil (full scan).
+func SortedCandidates(candidates []int32, n int) []int32 {
+	if candidates == nil {
+		return nil
+	}
+	out := make([]int32, 0, len(candidates))
+	for _, v := range candidates {
+		if v >= 0 && int(v) < n {
+			out = append(out, v)
+		}
+	}
+	slices.Sort(out)
+	return slices.Compact(out)
+}

@@ -1,0 +1,242 @@
+package parallel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dynppr/internal/gen"
+	"dynppr/internal/graph"
+	"dynppr/internal/power"
+	"dynppr/internal/push"
+)
+
+func TestDeltaAddTracksFirstTouch(t *testing.T) {
+	d := Delta{buf: make([]float64, 8)}
+	d.Add(3, 0.5)
+	d.Add(5, 0.25)
+	d.Add(3, 0.5)
+	if len(d.touched) != 2 || d.touched[0] != 3 || d.touched[1] != 5 {
+		t.Fatalf("touched = %v", d.touched)
+	}
+	if d.buf[3] != 1.0 || d.buf[5] != 0.25 {
+		t.Fatalf("buf = %v", d.buf)
+	}
+}
+
+func TestSortedCandidates(t *testing.T) {
+	if SortedCandidates(nil, 10) != nil {
+		t.Fatal("nil candidates must stay nil (full scan)")
+	}
+	got := SortedCandidates([]int32{7, 3, -1, 7, 12, 0, 3}, 10)
+	want := []int32{0, 3, 7}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMachineAccessors(t *testing.T) {
+	m := NewMachine(0, 0)
+	if m.Workers() < 1 {
+		t.Fatal("workers must default to >= 1")
+	}
+	if m.Cutover() != DefaultCutover {
+		t.Fatalf("cutover = %d", m.Cutover())
+	}
+	e := NewPushEngine(4)
+	if e.Name() != "deterministic-w4" || e.Workers() != 4 {
+		t.Fatalf("engine accessors: %s", e.Name())
+	}
+}
+
+// replayStates runs the same mixed insert/delete stream through one
+// push.State per engine, pushing after every batch, and returns the final
+// states. All engines see identical graphs and batches.
+func replayStates(t *testing.T, engines []push.Engine, seed int64) []*push.State {
+	t.Helper()
+	base, err := gen.EdgeList(gen.Config{Model: gen.RMAT, Vertices: 150, Edges: 1200, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := push.Config{Alpha: 0.15, Epsilon: 1e-5}
+	states := make([]*push.State, len(engines))
+	for i, e := range engines {
+		g := graph.FromEdges(base[:800])
+		source := g.TopDegreeVertices(1)[0]
+		st, err := push.NewState(g, source, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(st, []graph.VertexID{source})
+		rng := rand.New(rand.NewSource(seed + 7))
+		next := 800
+		for b := 0; b < 5; b++ {
+			var touched []graph.VertexID
+			for k := 0; k < 50; k++ {
+				if rng.Intn(3) == 0 {
+					edges := st.Graph().Edges()
+					if len(edges) == 0 {
+						continue
+					}
+					del := edges[rng.Intn(len(edges))]
+					if changed, _ := st.ApplyDelete(del.U, del.V); changed {
+						touched = append(touched, del.U)
+					}
+				} else {
+					ins := base[next%len(base)]
+					next++
+					if changed, _ := st.ApplyInsert(ins.U, ins.V); changed {
+						touched = append(touched, ins.U)
+					}
+				}
+			}
+			e.Run(st, touched)
+			if !st.Converged() {
+				t.Fatalf("%s: batch %d not converged", e.Name(), b)
+			}
+		}
+		states[i] = st
+	}
+	return states
+}
+
+// TestDeterministicBitIdenticalAcrossWorkers is the core determinism claim:
+// over a dynamic stream of inserts and deletes, the engine's estimate and
+// residual vectors carry exactly the same float64 bits at parallelism 1, 2,
+// 3, 8 and 16 — worker count is pure scheduling.
+func TestDeterministicBitIdenticalAcrossWorkers(t *testing.T) {
+	engines := []push.Engine{
+		NewPushEngine(1),
+		NewPushEngine(2),
+		NewPushEngine(3),
+		NewPushEngine(8),
+		NewPushEngine(16),
+	}
+	states := replayStates(t, engines, 11)
+	ref := states[0]
+	refP, refR := ref.Estimates(), ref.Residuals()
+	for i, st := range states[1:] {
+		p, r := st.Estimates(), st.Residuals()
+		if len(p) != len(refP) {
+			t.Fatalf("%s: vector length %d vs %d", engines[i+1].Name(), len(p), len(refP))
+		}
+		for v := range p {
+			if math.Float64bits(p[v]) != math.Float64bits(refP[v]) {
+				t.Fatalf("%s: estimate bits differ at vertex %d: %x vs %x",
+					engines[i+1].Name(), v, math.Float64bits(p[v]), math.Float64bits(refP[v]))
+			}
+			if math.Float64bits(r[v]) != math.Float64bits(refR[v]) {
+				t.Fatalf("%s: residual bits differ at vertex %d", engines[i+1].Name(), v)
+			}
+		}
+	}
+}
+
+// TestCutoverDoesNotChangeBits pins that the adaptive cutover is pure
+// scheduling too: forcing every round inline (huge cutover) and forcing
+// every round through the fan-out (zero-ish cutover = 1) both reproduce the
+// default engine's bits.
+func TestCutoverDoesNotChangeBits(t *testing.T) {
+	engines := []push.Engine{
+		NewPushEngine(4),
+		NewPushEngineCutover(4, 1),
+		NewPushEngineCutover(4, 1<<30),
+	}
+	states := replayStates(t, engines, 23)
+	refP := states[0].Estimates()
+	for i, st := range states[1:] {
+		p := st.Estimates()
+		for v := range p {
+			if math.Float64bits(p[v]) != math.Float64bits(refP[v]) {
+				t.Fatalf("%s (case %d): cutover changed bits at vertex %d", engines[i+1].Name(), i, v)
+			}
+		}
+	}
+}
+
+// TestDeterministicApproximatesOracle checks the engine keeps the push
+// contract: converged, invariant intact, within ε of the exact vector.
+func TestDeterministicApproximatesOracle(t *testing.T) {
+	g, err := gen.Generate(gen.Config{Model: gen.RMAT, Vertices: 300, Edges: 2500, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := g.TopDegreeVertices(1)[0]
+	cfg := push.Config{Alpha: 0.15, Epsilon: 1e-4}
+	oracle, err := power.ReverseGraph(g, source, power.Options{Alpha: cfg.Alpha, Tolerance: 1e-13, MaxIterations: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		e := NewPushEngine(workers)
+		st, err := push.NewState(g, source, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(st, []graph.VertexID{source})
+		if !st.Converged() {
+			t.Fatalf("%s: not converged", e.Name())
+		}
+		if inv := st.InvariantError(); inv > 1e-9 {
+			t.Fatalf("%s: invariant error %v", e.Name(), inv)
+		}
+		if worst := power.MaxAbsDiff(st.Estimates(), oracle); worst > cfg.Epsilon {
+			t.Fatalf("%s: max error %v exceeds epsilon %v", e.Name(), worst, cfg.Epsilon)
+		}
+	}
+}
+
+// TestRunOnConvergedStateIsNoop mirrors the push package's contract test.
+func TestRunOnConvergedStateIsNoop(t *testing.T) {
+	g := graph.FromEdges([]graph.Edge{{U: 1, V: 0}, {U: 2, V: 0}, {U: 2, V: 1}})
+	st, err := push.NewState(g, 0, push.Config{Alpha: 0.15, Epsilon: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewPushEngine(2)
+	e.Run(st, []graph.VertexID{0})
+	before := st.Estimates()
+	e.Run(st, nil)
+	after := st.Estimates()
+	for v := range before {
+		if math.Float64bits(before[v]) != math.Float64bits(after[v]) {
+			t.Fatalf("re-running on a converged state changed vertex %d", v)
+		}
+	}
+}
+
+// TestSelfLoopAndDangling exercises the corner topologies through the
+// deterministic schedule: a self-loop keeps propagating to its own residual,
+// and a vertex with a deleted last out-edge flips through the negative
+// phase.
+func TestSelfLoopAndDangling(t *testing.T) {
+	g := graph.FromEdges([]graph.Edge{{U: 0, V: 0}, {U: 1, V: 0}, {U: 2, V: 1}})
+	st, err := push.NewState(g, 0, push.Config{Alpha: 0.15, Epsilon: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewPushEngine(2)
+	e.Run(st, []graph.VertexID{0})
+	if !st.Converged() {
+		t.Fatal("not converged with self-loop")
+	}
+	if changed, _ := st.ApplyDelete(1, 0); !changed {
+		t.Fatal("delete must apply")
+	}
+	e.Run(st, []graph.VertexID{1})
+	if !st.Converged() {
+		t.Fatal("not converged after deletion")
+	}
+	oracle, err := power.ReverseGraph(st.Graph(), 0, power.Options{Alpha: 0.15, Tolerance: 1e-13, MaxIterations: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst := power.MaxAbsDiff(st.Estimates(), oracle); worst > 1e-7 {
+		t.Fatalf("max error %v", worst)
+	}
+}

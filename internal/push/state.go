@@ -298,6 +298,13 @@ func (st *State) activeFrom(candidates []graph.VertexID, phase phase) []int32 {
 // residual vectors with the same plain/atomic access discipline the built-in
 // engines use.
 
+// Vectors exposes the estimate and residual vectors themselves. It exists
+// for the deterministic engine of internal/parallel, whose striped
+// accumulation and ordered reduction need direct (plain) element access on
+// the hot path; the access discipline is the same as for the built-in
+// engines — distinct vertices per goroutine between barriers.
+func (st *State) Vectors() (p, r *fp.Float64Vector) { return st.p, st.r }
+
 // AddEstimate adds delta to P(v) without synchronization. Callers must ensure
 // v is owned by a single goroutine for the duration of the call.
 func (st *State) AddEstimate(v graph.VertexID, delta float64) {

@@ -43,6 +43,13 @@ import (
 //
 // Consequently every read reflects the graph as of some completed batch
 // (monotonically advancing per source), never a partially applied one.
+//
+// With Options.Engine set to EngineDeterministic the service is additionally
+// reproducible: ApplyBatch routes every source's push through the
+// deterministic parallel engine, whose output is bit-identical at any
+// Options.Parallelism, so replaying the same batch sequence over the same
+// initial graph publishes snapshots with exactly the same float64 bits —
+// regardless of PoolWorkers, scheduling, or the machine's core count.
 type Service struct {
 	opts ServiceOptions
 
@@ -572,6 +579,8 @@ type ServiceStats struct {
 	Edges    int
 	// PoolWorkers is the shard pool size.
 	PoolWorkers int
+	// Engine names the push engine kind every source runs.
+	Engine string
 }
 
 // AvgBatchLatency returns the mean per-batch pipeline latency.
@@ -596,6 +605,7 @@ func (s *Service) Stats() ServiceStats {
 		Vertices:          int(s.vertices.Load()),
 		Edges:             int(s.edges.Load()),
 		PoolWorkers:       s.opts.PoolWorkers,
+		Engine:            s.opts.Options.Engine.String(),
 	}
 	for _, src := range table {
 		ss := SourceStats{

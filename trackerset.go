@@ -16,6 +16,11 @@ import (
 // is notified and then pushed, with the per-source pushes themselves running
 // concurrently when the set is large.
 //
+// With Options.Engine set to EngineDeterministic the whole set is
+// reproducible: each source's push is bit-identical at any
+// Options.Parallelism, and since the per-source states are independent, the
+// concurrency of the cross-source fan-out cannot perturb results either.
+//
 // Like Tracker, a TrackerSet is not safe for concurrent use: ApplyBatch and
 // Estimate must not overlap. When queries need to run concurrently with the
 // update stream, use a Service instead — it maintains the same per-source
