@@ -4,11 +4,18 @@
 // top-k/estimate queries, batched reads, edge-update batches and live source
 // management until interrupted, shutting down gracefully.
 //
+// With -data-dir the daemon is durable: every mutation is journaled to a
+// write-ahead log, -checkpoint-every (and POST /checkpoint) snapshot the
+// whole state, and a restart pointed at the same directory recovers exactly
+// where the previous process stopped — the dataset flags only seed the very
+// first boot.
+//
 // Usage:
 //
 //	dppr-httpd -addr :8080 -dataset youtube -sources 8
 //	dppr-httpd -addr 127.0.0.1:9090 -vertices 5000 -edges 100000 -epsilon 1e-5
 //	dppr-httpd -input edges.txt -sources 4 -engine sequential
+//	dppr-httpd -data-dir /var/lib/dppr -fsync always -checkpoint-every 5m
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -51,44 +59,75 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		pool     = fs.Int("pool", 0, "shard pool size (0 = GOMAXPROCS)")
 		seed     = fs.Int64("seed", 1, "random seed for generated graphs")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		dataDir  = fs.String("data-dir", "", "data directory for the WAL and checkpoints (empty = in-memory only)")
+		fsync    = fs.String("fsync", "always", "WAL fsync policy: always (durable) or none (OS-buffered)")
+		ckptEvr  = fs.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = only on demand and at shutdown)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	edgeList, name, err := loadEdges(*input, *dataset, *vertices, *edges, *seed)
-	if err != nil {
-		return err
-	}
-	if len(edgeList) == 0 {
-		return fmt.Errorf("initial graph %q has no edges", name)
-	}
-	g := dynppr.GraphFromEdges(edgeList)
-	if *sources < 1 {
-		*sources = 1
-	}
-	tracked := g.TopDegreeVertices(*sources)
 
 	so := dynppr.DefaultServiceOptions()
 	so.Options.Epsilon = *epsilon
 	so.Options.Workers = *workers
 	so.Options.Parallelism = *par
 	so.PoolWorkers = *pool
-	if so.Options.Engine, err = parseEngine(*engine); err != nil {
+	var err error
+	if so.Options.Engine, err = dynppr.ParseEngineKind(*engine); err != nil {
 		return err
 	}
-
-	fmt.Fprintf(out, "graph=%s vertices=%d edges=%d sources=%v engine=%s epsilon=%.0e\n",
-		name, g.NumVertices(), g.NumEdges(), tracked, so.Options.Engine, so.Options.Epsilon)
+	po := dynppr.PersistOptions{Dir: *dataDir}
+	if po.Sync, err = dynppr.ParseSyncPolicy(*fsync); err != nil {
+		return err
+	}
 
 	start := time.Now()
-	svc, err := dynppr.NewService(g, tracked, so)
-	if err != nil {
-		return err
+	var svc *dynppr.Service
+	if *dataDir != "" && dynppr.CheckpointExists(*dataDir) {
+		// A previous process left durable state behind: resume it. The
+		// dataset/input flags only describe the first boot and are ignored.
+		svc, err = dynppr.NewServiceFromRecovery(so, po)
+		if err != nil {
+			return err
+		}
+		stats := svc.Stats()
+		fmt.Fprintf(out, "recovered %s: %d vertices, %d edges, %d sources (lsn %d) in %v\n",
+			*dataDir, stats.Vertices, stats.Edges, len(stats.Sources),
+			stats.Persistence.LastCheckpointLSN, time.Since(start).Round(time.Microsecond))
+		if restored := svc.Options().Options.Epsilon; restored != *epsilon {
+			fmt.Fprintf(out, "note: alpha/epsilon restored from checkpoint (epsilon=%.0e; -epsilon %.0e ignored)\n",
+				restored, *epsilon)
+		}
+	} else {
+		edgeList, name, err := loadEdges(*input, *dataset, *vertices, *edges, *seed)
+		if err != nil {
+			return err
+		}
+		if len(edgeList) == 0 {
+			return fmt.Errorf("initial graph %q has no edges", name)
+		}
+		g := dynppr.GraphFromEdges(edgeList)
+		if *sources < 1 {
+			*sources = 1
+		}
+		tracked := g.TopDegreeVertices(*sources)
+		fmt.Fprintf(out, "graph=%s vertices=%d edges=%d sources=%v engine=%s epsilon=%.0e\n",
+			name, g.NumVertices(), g.NumEdges(), tracked, so.Options.Engine, so.Options.Epsilon)
+		if *dataDir != "" {
+			svc, err = dynppr.NewPersistentService(g, tracked, so, po)
+		} else {
+			svc, err = dynppr.NewService(g, tracked, so)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "cold start: %d sources converged in %v\n",
+			len(tracked), time.Since(start).Round(time.Microsecond))
 	}
 	defer svc.Close()
-	fmt.Fprintf(out, "cold start: %d sources converged in %v\n",
-		len(tracked), time.Since(start).Round(time.Microsecond))
+	if *dataDir != "" {
+		fmt.Fprintf(out, "durable: data-dir=%s fsync=%s checkpoint-every=%v\n", *dataDir, po.Sync, *ckptEvr)
+	}
 
 	srv := httpapi.NewServer(svc, httpapi.ServerOptions{Addr: *addr})
 	if err := srv.Start(); err != nil {
@@ -96,8 +135,36 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "listening on %s\n", srv.URL())
 
+	// Periodic checkpointing bounds how much WAL a crash would replay.
+	// Started only once the server is up, so an early return cannot leak
+	// the ticker goroutine against a closed service.
+	stopCkpt := make(chan struct{})
+	var ckptWG sync.WaitGroup
+	if *dataDir != "" && *ckptEvr > 0 {
+		ticker := time.NewTicker(*ckptEvr)
+		ckptWG.Add(1)
+		go func() {
+			defer ckptWG.Done()
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-ticker.C:
+					if lsn, err := svc.Checkpoint(); err != nil {
+						fmt.Fprintf(out, "checkpoint failed: %v\n", err)
+					} else {
+						fmt.Fprintf(out, "checkpoint: lsn %d\n", lsn)
+					}
+				}
+			}
+		}()
+	}
+
 	<-ctx.Done()
 	fmt.Fprintln(out, "shutting down: draining in-flight requests")
+	close(stopCkpt)
+	ckptWG.Wait()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
@@ -106,25 +173,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := srv.Wait(); err != nil {
 		return err
 	}
+	// A final checkpoint makes the next boot replay-free.
+	if *dataDir != "" {
+		if lsn, err := svc.Checkpoint(); err != nil {
+			fmt.Fprintf(out, "final checkpoint failed: %v\n", err)
+		} else {
+			fmt.Fprintf(out, "final checkpoint: lsn %d\n", lsn)
+		}
+	}
 	stats := svc.Stats()
 	fmt.Fprintf(out, "served %d batches (%d updates applied); final graph %d vertices / %d edges\n",
 		stats.Batches, stats.UpdatesApplied, stats.Vertices, stats.Edges)
 	return nil
-}
-
-func parseEngine(name string) (dynppr.EngineKind, error) {
-	switch name {
-	case "parallel":
-		return dynppr.EngineParallel, nil
-	case "sequential":
-		return dynppr.EngineSequential, nil
-	case "vertex-centric":
-		return dynppr.EngineVertexCentric, nil
-	case "deterministic":
-		return dynppr.EngineDeterministic, nil
-	default:
-		return 0, fmt.Errorf("unknown engine %q", name)
-	}
 }
 
 // loadEdges resolves the initial edge list: an explicit file wins, then a

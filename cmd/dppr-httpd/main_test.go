@@ -160,13 +160,113 @@ func TestParseEngine(t *testing.T) {
 		"parallel":       dynppr.EngineParallel,
 		"sequential":     dynppr.EngineSequential,
 		"vertex-centric": dynppr.EngineVertexCentric,
+		"deterministic":  dynppr.EngineDeterministic,
 	} {
-		got, err := parseEngine(name)
+		got, err := dynppr.ParseEngineKind(name)
 		if err != nil || got != want {
-			t.Fatalf("parseEngine(%q) = %v, %v", name, got, err)
+			t.Fatalf("ParseEngineKind(%q) = %v, %v", name, got, err)
 		}
 	}
-	if _, err := parseEngine("gpu"); err == nil {
+	if _, err := dynppr.ParseEngineKind("gpu"); err == nil {
 		t.Fatal("unknown engine must fail")
 	}
+}
+
+// TestHTTPDDurableRestart boots the daemon on a data directory, mutates it
+// over HTTP, shuts it down, and boots a second daemon on the same directory:
+// the second boot must recover (not re-seed), serve the same sources with
+// the same snapshot epochs, and keep accepting writes.
+func TestHTTPDDurableRestart(t *testing.T) {
+	dir := t.TempDir() + "/data"
+
+	var out1 syncBuffer
+	base1, cancel1, errCh1 := startHTTPD(t, &out1,
+		"-data-dir", dir, "-fsync", "always", "-engine", "deterministic")
+	defer cancel1()
+	client1 := httpapi.NewClient(base1, nil)
+	sources, err := client1.Sources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := client1.ApplyEdges([]httpapi.Update{
+			{U: dynppr.VertexID(180 + i), V: sources[0], Op: httpapi.OpInsert},
+			{U: sources[0], V: dynppr.VertexID(190 + i), Op: httpapi.OpInsert},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	stats1, err := client1.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.Service.Persistence == nil || stats1.Service.Persistence.Dir != dir {
+		t.Fatalf("persistence stats missing: %+v", stats1.Service.Persistence)
+	}
+	top1, err := client1.TopK(sources[0], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel1()
+	if err := <-errCh1; err != nil {
+		t.Fatalf("first daemon shutdown: %v\n%s", err, out1.String())
+	}
+	if !strings.Contains(out1.String(), "final checkpoint") {
+		t.Fatalf("first daemon skipped the final checkpoint:\n%s", out1.String())
+	}
+
+	var out2 syncBuffer
+	base2, cancel2, errCh2 := startHTTPD(t, &out2,
+		"-data-dir", dir, "-fsync", "always", "-engine", "deterministic")
+	defer cancel2()
+	if !strings.Contains(out2.String(), "recovered "+dir) {
+		t.Fatalf("second boot did not recover:\n%s", out2.String())
+	}
+	client2 := httpapi.NewClient(base2, nil)
+	sources2, err := client2.Sources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources2) != len(sources) {
+		t.Fatalf("sources changed across restart: %v -> %v", sources, sources2)
+	}
+	top2, err := client2.TopK(sources[0], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top2.Snapshot.Epoch != top1.Snapshot.Epoch {
+		t.Fatalf("epoch %d after restart, want %d", top2.Snapshot.Epoch, top1.Snapshot.Epoch)
+	}
+	for i := range top2.Results {
+		if top2.Results[i] != top1.Results[i] {
+			t.Fatalf("topk[%d] changed across restart: %+v -> %+v", i, top1.Results[i], top2.Results[i])
+		}
+	}
+	if _, err := client2.ApplyEdges([]httpapi.Update{
+		{U: 42, V: sources[0], Op: httpapi.OpInsert},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cancel2()
+	if err := <-errCh2; err != nil {
+		t.Fatalf("second daemon shutdown: %v\n%s", err, out2.String())
+	}
+}
+
+// TestHTTPDCheckpointWithoutDataDir asserts the admin endpoint answers 409
+// on an in-memory daemon.
+func TestHTTPDCheckpointWithoutDataDir(t *testing.T) {
+	var out syncBuffer
+	base, cancel, errCh := startHTTPD(t, &out)
+	defer cancel()
+	_, err := httpapi.NewClient(base, nil).Checkpoint()
+	apiErr, ok := err.(*httpapi.APIError)
+	if !ok || apiErr.StatusCode != 409 {
+		t.Fatalf("checkpoint without data dir: got %v, want 409", err)
+	}
+	cancel()
+	<-errCh
 }

@@ -48,9 +48,20 @@ func run(args []string, out io.Writer) error {
 		pool     = fs.Int("pool", 0, "shard pool size (0 = GOMAXPROCS)")
 		topK     = fs.Int("top", 5, "number of top-ranked vertices to print per source")
 		seed     = fs.Int64("seed", 1, "random seed")
+		dataDir  = fs.String("data-dir", "", "journal the run to this data directory (must not already hold a checkpoint)")
+		fsync    = fs.String("fsync", "none", "WAL fsync policy: always or none")
+		ckptEvr  = fs.Int("checkpoint-every", 0, "checkpoint after every N slides (0 = only at exit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	po := dynppr.PersistOptions{Dir: *dataDir}
+	var err error
+	if po.Sync, err = dynppr.ParseSyncPolicy(*fsync); err != nil {
+		return err
+	}
+	if *dataDir != "" && dynppr.CheckpointExists(*dataDir) {
+		return fmt.Errorf("data dir %s already holds a checkpoint; dppr-serve always starts fresh — recover it with dppr-httpd or clear the directory", *dataDir)
 	}
 
 	cfg, err := resolveConfig(*dataset, *vertices, *edges, *seed)
@@ -80,30 +91,29 @@ func run(args []string, out io.Writer) error {
 	so.Options.Workers = *workers
 	so.Options.Parallelism = *par
 	so.PoolWorkers = *pool
-	switch *engine {
-	case "parallel":
-		so.Options.Engine = dynppr.EngineParallel
-	case "sequential":
-		so.Options.Engine = dynppr.EngineSequential
-	case "vertex-centric":
-		so.Options.Engine = dynppr.EngineVertexCentric
-	case "deterministic":
-		so.Options.Engine = dynppr.EngineDeterministic
-	default:
-		return fmt.Errorf("unknown engine %q", *engine)
+	if so.Options.Engine, err = dynppr.ParseEngineKind(*engine); err != nil {
+		return err
 	}
 
 	fmt.Fprintf(out, "dataset=%s vertices=%d window=%d sources=%v engine=%s epsilon=%.0e readers=%d\n",
 		cfg.Name, g.NumVertices(), window.Size(), tracked, so.Options.Engine, so.Options.Epsilon, *readers)
 
 	start := time.Now()
-	svc, err := dynppr.NewService(g, tracked, so)
+	var svc *dynppr.Service
+	if *dataDir != "" {
+		svc, err = dynppr.NewPersistentService(g, tracked, so, po)
+	} else {
+		svc, err = dynppr.NewService(g, tracked, so)
+	}
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
 	fmt.Fprintf(out, "cold start: %d sources converged and published in %v\n",
 		len(tracked), time.Since(start).Round(time.Microsecond))
+	if *dataDir != "" {
+		fmt.Fprintf(out, "durable: data-dir=%s fsync=%s checkpoint-every=%d slides\n", *dataDir, po.Sync, *ckptEvr)
+	}
 
 	// Query pool: each goroutine hammers random reads until the stream ends.
 	stop := make(chan struct{})
@@ -151,10 +161,24 @@ func run(args []string, out io.Writer) error {
 		applied += res.Applied
 		fmt.Fprintf(out, "slide %3d: updates=%4d latency=%-12v pushes=%-8d queue=%d\n",
 			i+1, res.Applied, res.Latency.Round(time.Microsecond), res.Pushes, svc.Stats().QueueDepth)
+		if *dataDir != "" && *ckptEvr > 0 && (i+1)%*ckptEvr == 0 {
+			lsn, err := svc.Checkpoint()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "checkpoint: lsn %d\n", lsn)
+		}
 	}
 	streamed := time.Since(streamStart)
 	close(stop)
 	wg.Wait()
+	if *dataDir != "" {
+		lsn, err := svc.Checkpoint()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "final checkpoint: lsn %d\n", lsn)
+	}
 
 	stats := svc.Stats()
 	fmt.Fprintf(out, "writes: %d batches, %d updates, avg batch latency %v\n",

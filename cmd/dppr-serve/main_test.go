@@ -68,3 +68,55 @@ func TestServeRunErrors(t *testing.T) {
 		t.Fatal("invalid epsilon must fail")
 	}
 }
+
+// TestServeRunDurable journals a run to a data directory: the tool must
+// report its durability configuration, checkpoint on the requested cadence
+// and at exit, leave a recoverable checkpoint + WAL pair behind, and refuse
+// to start over a directory that already holds a checkpoint.
+func TestServeRunDurable(t *testing.T) {
+	dir := t.TempDir() + "/data"
+	args := []string{
+		"-vertices", "200", "-edges", "1500", "-sources", "2", "-readers", "1",
+		"-batch", "15", "-slides", "4", "-epsilon", "1e-4", "-engine", "deterministic",
+		"-data-dir", dir, "-fsync", "none", "-checkpoint-every", "2",
+	}
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"durable: data-dir=" + dir, "checkpoint: lsn", "final checkpoint: lsn",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !dynppr.CheckpointExists(dir) {
+		t.Fatal("no checkpoint left behind")
+	}
+	// The directory is recoverable by the library.
+	so := dynppr.DefaultServiceOptions()
+	so.Options.Engine = dynppr.EngineDeterministic
+	svc, err := dynppr.NewServiceFromRecovery(so, dynppr.PersistOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(svc.Sources()); got != 2 {
+		t.Fatalf("recovered %d sources, want 2", got)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second dppr-serve run over the same directory must be refused.
+	if err := run(args, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "already holds a checkpoint") {
+		t.Fatalf("rerun over existing checkpoint: got %v", err)
+	}
+
+	// Unknown fsync policies are rejected up front.
+	if err := run([]string{"-fsync", "sometimes"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad fsync policy must fail")
+	}
+}

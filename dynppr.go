@@ -151,6 +151,23 @@ func (k EngineKind) String() string {
 	}
 }
 
+// ParseEngineKind parses the -engine flag values shared by the daemons:
+// "parallel", "sequential", "vertex-centric", "deterministic".
+func ParseEngineKind(name string) (EngineKind, error) {
+	switch name {
+	case "parallel":
+		return EngineParallel, nil
+	case "sequential":
+		return EngineSequential, nil
+	case "vertex-centric":
+		return EngineVertexCentric, nil
+	case "deterministic":
+		return EngineDeterministic, nil
+	default:
+		return 0, fmt.Errorf("dynppr: unknown engine %q (want parallel, sequential, vertex-centric or deterministic)", name)
+	}
+}
+
 // UpdateMode controls how a Tracker processes a batch of updates.
 type UpdateMode int
 

@@ -1,0 +1,359 @@
+// Package ckpt reads and writes checkpoints of the durable serving layer: a
+// versioned binary snapshot of the dynamic graph, the tracked source set and
+// each source's converged push state (estimates, residuals, snapshot epoch),
+// together with the WAL sequence number the snapshot covers. A checkpoint
+// plus the WAL suffix past its LSN reconstructs a Service exactly; under the
+// deterministic engine the reconstruction is bit-identical, which is why the
+// graph is serialized as ordered adjacency lists (summation order of later
+// pushes) rather than as an edge set.
+//
+// # Format (version 1)
+//
+//	magic    [8]byte  "DPPRCKP1"
+//	version  uint32   little-endian
+//	lsn      uint64   WAL LSN covered by this checkpoint
+//	alpha    float64  IEEE-754 bits, little-endian
+//	epsilon  float64
+//	n        uvarint  number of vertices
+//	out      n × (uvarint degree, degree × uvarint neighbor)   — exact order
+//	in       n × (uvarint degree, degree × uvarint neighbor)   — exact order
+//	sources  uvarint count, count × source block
+//	crc      uint32   CRC-32C (Castagnoli) of every preceding byte
+//
+// where a source block is
+//
+//	source    uvarint
+//	epoch     uint64
+//	veclen    uvarint                    length of both vectors
+//	estimates veclen × float64 bits      little-endian
+//	residuals veclen × float64 bits
+//
+// Writes go through a temp file, fsync and atomic rename, so the checkpoint
+// path always holds either the previous complete checkpoint or the new one —
+// never a torn hybrid; the trailing checksum rejects anything else.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"dynppr/internal/fsatomic"
+	"dynppr/internal/graph"
+)
+
+const (
+	magic   = "DPPRCKP1"
+	version = 1
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrInvalid reports a byte stream that is not a well-formed checkpoint
+// (bad magic, unsupported version, failed checksum, or malformed body).
+var ErrInvalid = errors.New("ckpt: invalid checkpoint")
+
+// Source is one tracked source's serialized push state.
+type Source struct {
+	// Source is the tracked vertex.
+	Source graph.VertexID
+	// Epoch is the source's snapshot epoch at checkpoint time (≥ 1: the
+	// cold start has always published by then).
+	Epoch uint64
+	// Estimates and Residuals are the converged (P, R) vectors. Their
+	// common length may lag the vertex count when the graph grew without
+	// touching this source.
+	Estimates []float64
+	Residuals []float64
+}
+
+// Data is one decoded checkpoint.
+type Data struct {
+	// LSN is the WAL sequence number the snapshot covers: recovery replays
+	// only records with LSN ≥ this value.
+	LSN uint64
+	// Alpha and Epsilon are the scheme parameters the states were built
+	// with; recovery must resume with the same values.
+	Alpha   float64
+	Epsilon float64
+	// Out and In are the graph's adjacency lists in exact stored order.
+	Out, In [][]graph.VertexID
+	// Sources lists the tracked sources in ascending source order.
+	Sources []Source
+}
+
+// Encode serializes d to its binary form.
+func Encode(d *Data) ([]byte, error) {
+	if len(d.Out) != len(d.In) {
+		return nil, fmt.Errorf("ckpt: adjacency mismatch: %d out slots, %d in slots", len(d.Out), len(d.In))
+	}
+	n := len(d.Out)
+	buf := make([]byte, 0, 64+16*n)
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, version)
+	buf = binary.LittleEndian.AppendUint64(buf, d.LSN)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.Alpha))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.Epsilon))
+	buf = binary.AppendUvarint(buf, uint64(n))
+	var err error
+	if buf, err = appendAdjacency(buf, d.Out, n); err != nil {
+		return nil, err
+	}
+	if buf, err = appendAdjacency(buf, d.In, n); err != nil {
+		return nil, err
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(d.Sources)))
+	for _, s := range d.Sources {
+		if s.Source < 0 || int(s.Source) >= n {
+			return nil, fmt.Errorf("ckpt: source %d outside [0,%d)", s.Source, n)
+		}
+		if len(s.Estimates) != len(s.Residuals) {
+			return nil, fmt.Errorf("ckpt: source %d vectors disagree: %d estimates, %d residuals",
+				s.Source, len(s.Estimates), len(s.Residuals))
+		}
+		if len(s.Estimates) > n || int(s.Source) >= len(s.Estimates) {
+			return nil, fmt.Errorf("ckpt: source %d vector length %d outside (%d,%d]",
+				s.Source, len(s.Estimates), s.Source, n)
+		}
+		buf = binary.AppendUvarint(buf, uint64(s.Source))
+		buf = binary.LittleEndian.AppendUint64(buf, s.Epoch)
+		buf = binary.AppendUvarint(buf, uint64(len(s.Estimates)))
+		for _, x := range s.Estimates {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		}
+		for _, x := range s.Residuals {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	return buf, nil
+}
+
+func appendAdjacency(buf []byte, lists [][]graph.VertexID, n int) ([]byte, error) {
+	for u, nbrs := range lists {
+		buf = binary.AppendUvarint(buf, uint64(len(nbrs)))
+		for _, v := range nbrs {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("ckpt: adjacency of %d names vertex %d outside [0,%d)", u, v, n)
+			}
+			buf = binary.AppendUvarint(buf, uint64(v))
+		}
+	}
+	return buf, nil
+}
+
+// Decode parses a checkpoint image. Junk bytes, truncation, bad checksums
+// and malformed bodies return ErrInvalid — never a panic and never an
+// allocation proportional to a forged count rather than the actual input
+// size.
+func Decode(data []byte) (*Data, error) {
+	if len(data) < len(magic)+4+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the envelope", ErrInvalid, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrInvalid, data[:len(magic)])
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrInvalid)
+	}
+	r := &reader{b: body, off: len(magic)}
+	if v := r.u32(); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrInvalid, v, version)
+	}
+	d := &Data{}
+	d.LSN = r.u64()
+	d.Alpha = math.Float64frombits(r.u64())
+	d.Epsilon = math.Float64frombits(r.u64())
+	n, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	if d.Out, err = r.adjacency(n); err != nil {
+		return nil, err
+	}
+	if d.In, err = r.adjacency(n); err != nil {
+		return nil, err
+	}
+	numSources, err := r.count(1 + 8 + 1)
+	if err != nil {
+		return nil, err
+	}
+	d.Sources = make([]Source, 0, numSources)
+	var prev graph.VertexID = -1
+	for i := 0; i < numSources; i++ {
+		var s Source
+		src, err := r.vertex(n)
+		if err != nil {
+			return nil, fmt.Errorf("%w: source %d: %v", ErrInvalid, i, err)
+		}
+		if src <= prev {
+			return nil, fmt.Errorf("%w: sources not in ascending order (%d after %d)", ErrInvalid, src, prev)
+		}
+		prev = src
+		s.Source = src
+		s.Epoch = r.u64()
+		vecLen, err := r.count(16)
+		if err != nil {
+			return nil, err
+		}
+		if vecLen > n || int(src) >= vecLen {
+			return nil, fmt.Errorf("%w: source %d vector length %d outside (%d,%d]", ErrInvalid, src, vecLen, src, n)
+		}
+		s.Estimates = r.floats(vecLen)
+		s.Residuals = r.floats(vecLen)
+		if r.err != nil {
+			return nil, r.err
+		}
+		d.Sources = append(d.Sources, s)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrInvalid, len(body)-r.off)
+	}
+	return d, nil
+}
+
+// WriteFile atomically replaces path with the serialized checkpoint (see
+// fsatomic.WriteFile): a crash at any point leaves either the old complete
+// checkpoint or the new one.
+func WriteFile(path string, d *Data) error {
+	buf, err := Encode(d)
+	if err != nil {
+		return err
+	}
+	return fsatomic.WriteFile(path, buf)
+}
+
+// LoadFile reads and decodes the checkpoint at path. A missing file returns
+// os.ErrNotExist.
+func LoadFile(path string) (*Data, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// reader is a bounds-checked cursor over the checkpoint body. Fixed-width
+// reads record a sticky error instead of panicking; counts are validated
+// against the remaining input so forged values cannot force allocations
+// beyond the input size.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.remaining() < 4 {
+		r.setTruncated()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.remaining() < 8 {
+		r.setTruncated()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) setTruncated() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated at offset %d", ErrInvalid, r.off)
+	}
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	x, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.setTruncated()
+		return 0, r.err
+	}
+	r.off += n
+	return x, nil
+}
+
+// count reads a uvarint element count whose elements each occupy at least
+// minElemBytes, rejecting counts the remaining input cannot possibly hold.
+func (r *reader) count(minElemBytes int) (int, error) {
+	x, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if x > uint64(r.remaining()/minElemBytes)+1 {
+		r.err = fmt.Errorf("%w: count %d exceeds remaining input at offset %d", ErrInvalid, x, r.off)
+		return 0, r.err
+	}
+	return int(x), nil
+}
+
+func (r *reader) vertex(n int) (graph.VertexID, error) {
+	x, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if x >= uint64(n) {
+		r.err = fmt.Errorf("%w: vertex %d outside [0,%d) at offset %d", ErrInvalid, x, n, r.off)
+		return 0, r.err
+	}
+	return graph.VertexID(x), nil
+}
+
+func (r *reader) adjacency(n int) ([][]graph.VertexID, error) {
+	lists := make([][]graph.VertexID, n)
+	for u := 0; u < n; u++ {
+		deg, err := r.count(1)
+		if err != nil {
+			return nil, err
+		}
+		if deg == 0 {
+			continue
+		}
+		nbrs := make([]graph.VertexID, deg)
+		for i := range nbrs {
+			if nbrs[i], err = r.vertex(n); err != nil {
+				return nil, err
+			}
+		}
+		lists[u] = nbrs
+	}
+	return lists, nil
+}
+
+func (r *reader) floats(n int) []float64 {
+	if r.err != nil {
+		return nil
+	}
+	if r.remaining() < 8*n {
+		r.setTruncated()
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+		r.off += 8
+	}
+	return out
+}

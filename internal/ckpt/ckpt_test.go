@@ -1,0 +1,146 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dynppr/internal/graph"
+)
+
+func sampleData() *Data {
+	return &Data{
+		LSN:     17,
+		Alpha:   0.15,
+		Epsilon: 1e-6,
+		Out: [][]graph.VertexID{
+			{1, 2}, {2}, nil, {0, 1},
+		},
+		In: [][]graph.VertexID{
+			{3}, {0, 3}, {0, 1}, nil,
+		},
+		Sources: []Source{
+			{Source: 1, Epoch: 4, Estimates: []float64{0.1, 0.9, 0}, Residuals: []float64{0, -1e-7, 1e-8}},
+			{Source: 3, Epoch: 2, Estimates: []float64{0, 0.25, 0.5, 0.25}, Residuals: []float64{1e-9, 0, 0, 0}},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := sampleData()
+	buf, err := Encode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// Signed-zero and NaN-free float bits must survive exactly.
+	want.Sources[0].Estimates[2] = math.Copysign(0, -1)
+	buf, err = Encode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.Sources[0].Estimates[2]) != math.Float64bits(want.Sources[0].Estimates[2]) {
+		t.Fatal("float bits not preserved")
+	}
+	// The decoded adjacency reconstructs a consistent graph.
+	g, err := graph.FromAdjacency(got.Out, got.In)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 5 {
+		t.Fatalf("edges %d, want 5", g.NumEdges())
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	good, err := Encode(sampleData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     good[:10],
+		"truncated": good[:len(good)-9],
+		"bad-magic": append([]byte("NOTACKP0"), good[8:]...),
+		"junk":      []byte("this is not a checkpoint at all, not even close"),
+	}
+	// Flip one payload bit: checksum must catch it.
+	flipped := append([]byte(nil), good...)
+	flipped[20] ^= 0x04
+	cases["bit-flip"] = flipped
+	// Forge a future version with a recomputed checksum: version gate must
+	// catch it.
+	future := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(future[8:], version+1)
+	body := future[:len(future)-4]
+	binary.LittleEndian.PutUint32(future[len(future)-4:], crc32.Checksum(body, castagnoli))
+	cases["future-version"] = future
+
+	for name, data := range cases {
+		if _, err := Decode(data); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: got %v, want ErrInvalid", name, err)
+		}
+	}
+}
+
+func TestEncodeRejectsMalformedData(t *testing.T) {
+	mutations := map[string]func(*Data){
+		"adjacency-mismatch": func(d *Data) { d.In = d.In[:2] },
+		"vertex-range":       func(d *Data) { d.Out[0] = []graph.VertexID{99} },
+		"vector-mismatch":    func(d *Data) { d.Sources[0].Residuals = d.Sources[0].Residuals[:1] },
+		"vector-short":       func(d *Data) { s := &d.Sources[1]; s.Estimates = s.Estimates[:2]; s.Residuals = s.Residuals[:2] },
+		"source-range":       func(d *Data) { d.Sources[0].Source = 9 },
+	}
+	for name, mutate := range mutations {
+		d := sampleData()
+		mutate(d)
+		if _, err := Encode(d); err == nil {
+			t.Errorf("%s: encode accepted malformed data", name)
+		}
+	}
+}
+
+func TestWriteFileAtomicReplace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint")
+	first := sampleData()
+	if err := WriteFile(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := sampleData()
+	second.LSN = 99
+	second.Sources[0].Epoch = 11
+	if err := WriteFile(path, second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LSN != 99 || got.Sources[0].Epoch != 11 {
+		t.Fatalf("replace did not take effect: %+v", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temp file left behind")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: got %v, want ErrNotExist", err)
+	}
+}

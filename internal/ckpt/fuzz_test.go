@@ -1,0 +1,108 @@
+package ckpt
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dynppr/internal/graph"
+)
+
+// dataEqual compares two checkpoints with bit-level float equality, so NaN
+// payloads (legal bytes behind a valid checksum) still round-trip.
+func dataEqual(a, b *Data) bool {
+	if a.LSN != b.LSN ||
+		math.Float64bits(a.Alpha) != math.Float64bits(b.Alpha) ||
+		math.Float64bits(a.Epsilon) != math.Float64bits(b.Epsilon) ||
+		!reflect.DeepEqual(a.Out, b.Out) || !reflect.DeepEqual(a.In, b.In) ||
+		len(a.Sources) != len(b.Sources) {
+		return false
+	}
+	for i := range a.Sources {
+		sa, sb := a.Sources[i], b.Sources[i]
+		if sa.Source != sb.Source || sa.Epoch != sb.Epoch ||
+			len(sa.Estimates) != len(sb.Estimates) || len(sa.Residuals) != len(sb.Residuals) {
+			return false
+		}
+		for j := range sa.Estimates {
+			if math.Float64bits(sa.Estimates[j]) != math.Float64bits(sb.Estimates[j]) ||
+				math.Float64bits(sa.Residuals[j]) != math.Float64bits(sb.Residuals[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzCheckpointRead drives Decode with arbitrary bytes. The contract under
+// fuzz: Decode returns either ErrInvalid or a Data whose re-encoding decodes
+// to the same value, whose adjacency either builds a consistent graph or is
+// cleanly rejected by graph.FromAdjacency, and which never panics or
+// allocates beyond the input size — junk bytes, truncated tails and bad
+// checksums must all error.
+func FuzzCheckpointRead(f *testing.F) {
+	valid, err := Encode(&Data{
+		LSN:     9,
+		Alpha:   0.15,
+		Epsilon: 1e-6,
+		Out:     [][]graph.VertexID{{1, 2}, {2}, nil},
+		In:      [][]graph.VertexID{nil, {0}, {0, 1}},
+		Sources: []Source{
+			{Source: 0, Epoch: 3, Estimates: []float64{0.5, 0.2, 0.1}, Residuals: []float64{0, 1e-7, -1e-7}},
+			{Source: 2, Epoch: 1, Estimates: []float64{0, 0, 1}, Residuals: []float64{0, 0, 0}},
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5]) // truncated tail
+	f.Add(valid[:12])           // envelope only
+	f.Add([]byte{})
+	f.Add([]byte("DPPRCKP1"))
+	f.Add([]byte("DPPRCKP1\x01\x00\x00\x00junk"))
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/2] ^= 0x20
+	f.Add(flip)
+	f.Add([]byte("definitely not a checkpoint: just prose bytes padding out"))
+
+	empty, err := Encode(&Data{Alpha: 0.5, Epsilon: 1, Out: nil, In: nil})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted input: the value must survive an encode/decode round
+		// trip bit for bit.
+		buf, err := Encode(d)
+		if err != nil {
+			t.Fatalf("re-encode of accepted checkpoint: %v", err)
+		}
+		d2, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("re-decode of accepted checkpoint: %v", err)
+		}
+		if !dataEqual(d, d2) {
+			t.Fatalf("round trip changed the checkpoint:\n%+v\n%+v", d, d2)
+		}
+		// The adjacency must be usable or cleanly rejected — never a panic.
+		if g, err := graph.FromAdjacency(d.Out, d.In); err == nil {
+			if cerr := g.CheckConsistency(); cerr != nil {
+				t.Fatalf("FromAdjacency accepted an inconsistent graph: %v", cerr)
+			}
+		}
+		for _, s := range d.Sources {
+			if len(s.Estimates) != len(s.Residuals) {
+				t.Fatalf("decoded source %d with mismatched vectors", s.Source)
+			}
+			if int(s.Source) >= len(s.Estimates) {
+				t.Fatalf("decoded source %d not covered by its vectors", s.Source)
+			}
+		}
+	})
+}

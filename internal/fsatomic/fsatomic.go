@@ -1,0 +1,47 @@
+// Package fsatomic holds the crash-safe file-write primitives the
+// persistence layer's two on-disk artifacts (WAL segments and checkpoints)
+// share, so the temp-write/fsync/rename/dir-sync dance exists exactly once.
+package fsatomic
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data: the bytes go to path.tmp,
+// are fsynced, renamed over path, and the directory entry is fsynced. A
+// crash at any point leaves either the old complete file or the new one —
+// never a torn hybrid.
+func WriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -62,6 +62,54 @@ func FromEdges(edges []Edge) *Graph {
 	return g
 }
 
+// FromAdjacency rebuilds a graph from explicit out- and in-adjacency lists,
+// preserving their exact element order. It is the checkpoint-recovery
+// constructor: adjacency order is observable state (it fixes the
+// floating-point summation order of subsequent pushes), so a recovered graph
+// must reproduce it bit-for-bit rather than merely the same edge set. The
+// two list families must describe the same edge set with no duplicates,
+// otherwise an error is returned. The graph takes ownership of the slices.
+func FromAdjacency(out, in [][]VertexID) (*Graph, error) {
+	if len(out) != len(in) {
+		return nil, fmt.Errorf("graph: adjacency mismatch: %d out slots, %d in slots", len(out), len(in))
+	}
+	n := len(out)
+	g := &Graph{out: out, in: in, edgeSet: make(map[Edge]struct{})}
+	for u, nbrs := range out {
+		for _, v := range nbrs {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("graph: out[%d] names vertex %d outside [0,%d)", u, v, n)
+			}
+			e := Edge{VertexID(u), v}
+			if _, dup := g.edgeSet[e]; dup {
+				return nil, fmt.Errorf("graph: duplicate edge (%d,%d) in out lists", u, v)
+			}
+			g.edgeSet[e] = struct{}{}
+		}
+	}
+	g.m = len(g.edgeSet)
+	inSeen := make(map[Edge]struct{}, g.m)
+	for v, nbrs := range in {
+		for _, u := range nbrs {
+			if u < 0 || int(u) >= n {
+				return nil, fmt.Errorf("graph: in[%d] names vertex %d outside [0,%d)", v, u, n)
+			}
+			e := Edge{u, VertexID(v)}
+			if _, ok := g.edgeSet[e]; !ok {
+				return nil, fmt.Errorf("graph: in lists have (%d,%d) missing from out lists", u, v)
+			}
+			if _, dup := inSeen[e]; dup {
+				return nil, fmt.Errorf("graph: duplicate edge (%d,%d) in in lists", u, v)
+			}
+			inSeen[e] = struct{}{}
+		}
+	}
+	if len(inSeen) != g.m {
+		return nil, fmt.Errorf("graph: in lists cover %d edges, out lists %d", len(inSeen), g.m)
+	}
+	return g, nil
+}
+
 // NumVertices returns the number of vertex slots (max id seen + 1, or the
 // initial size if larger).
 func (g *Graph) NumVertices() int { return len(g.out) }

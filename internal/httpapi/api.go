@@ -168,6 +168,24 @@ type HealthResponse struct {
 	Status string `json:"status"`
 }
 
+// CheckpointResponse answers POST /checkpoint: the WAL sequence number the
+// new checkpoint covers.
+type CheckpointResponse struct {
+	LSN uint64 `json:"lsn"`
+}
+
+// PersistenceStats is the wire form of dynppr.PersistenceStats.
+type PersistenceStats struct {
+	Dir               string `json:"dir"`
+	Sync              string `json:"sync"`
+	NextLSN           uint64 `json:"next_lsn"`
+	LastCheckpointLSN uint64 `json:"last_checkpoint_lsn"`
+	Checkpoints       int64  `json:"checkpoints"`
+	// Failed is non-empty once persistence has sticky-failed: the service
+	// still serves reads but rejects every mutation until restarted.
+	Failed string `json:"failed,omitempty"`
+}
+
 // SourceStats is the wire form of dynppr.SourceStats.
 type SourceStats struct {
 	Source      dynppr.VertexID `json:"source"`
@@ -190,6 +208,8 @@ type ServiceStats struct {
 	Vertices         int           `json:"vertices"`
 	Edges            int           `json:"edges"`
 	PoolWorkers      int           `json:"pool_workers"`
+	// Persistence is nil when the service runs without a data directory.
+	Persistence *PersistenceStats `json:"persistence,omitempty"`
 }
 
 func serviceStats(st dynppr.ServiceStats) ServiceStats {
@@ -204,6 +224,16 @@ func serviceStats(st dynppr.ServiceStats) ServiceStats {
 		Vertices:         st.Vertices,
 		Edges:            st.Edges,
 		PoolWorkers:      st.PoolWorkers,
+	}
+	if p := st.Persistence; p != nil {
+		out.Persistence = &PersistenceStats{
+			Dir:               p.Dir,
+			Sync:              p.Sync,
+			NextLSN:           p.NextLSN,
+			LastCheckpointLSN: p.LastCheckpointLSN,
+			Checkpoints:       p.Checkpoints,
+			Failed:            p.Failed,
+		}
 	}
 	for _, ss := range st.Sources {
 		out.Sources = append(out.Sources, SourceStats{

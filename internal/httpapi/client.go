@@ -145,6 +145,15 @@ func (c *Client) Query(queries []Query) ([]QueryResult, error) {
 	return out.Results, nil
 }
 
+// Checkpoint asks the server to checkpoint its durable state and returns
+// the WAL sequence number the new checkpoint covers. Servers running
+// without a data directory answer 409.
+func (c *Client) Checkpoint() (CheckpointResponse, error) {
+	var out CheckpointResponse
+	err := c.do(http.MethodPost, "/checkpoint", nil, &out)
+	return out, err
+}
+
 // ApplyEdges posts an edge-update batch and returns what it did.
 func (c *Client) ApplyEdges(updates []Update) (EdgesResponse, error) {
 	var out EdgesResponse

@@ -25,6 +25,7 @@ const maxBodyBytes = 1 << 20
 //	GET  /estimate?source=&v= single PPR estimate
 //	POST /query               batched topk/estimate queries
 //	POST /edges               edge-update batch
+//	POST /checkpoint          admin: checkpoint the service's durable state
 //
 // The Handler itself is stateless beyond its metrics; it is safe for
 // concurrent use by the http.Server's connection goroutines because the
@@ -42,7 +43,7 @@ func NewHandler(svc *dynppr.Service) *Handler {
 		svc: svc,
 		mux: http.NewServeMux(),
 		metrics: newMetrics(
-			"/healthz", "/stats", "/sources", "/topk", "/estimate", "/query", "/edges",
+			"/healthz", "/stats", "/sources", "/topk", "/estimate", "/query", "/edges", "/checkpoint",
 		),
 	}
 	h.route("/healthz", http.MethodGet, h.handleHealthz)
@@ -52,6 +53,7 @@ func NewHandler(svc *dynppr.Service) *Handler {
 	h.route("/estimate", http.MethodGet, h.handleEstimate)
 	h.route("/query", http.MethodPost, h.handleQuery)
 	h.route("/edges", http.MethodPost, h.handleEdges)
+	h.route("/checkpoint", http.MethodPost, h.handleCheckpoint)
 	return h
 }
 
@@ -86,6 +88,8 @@ func errorStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, dynppr.ErrServiceClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, dynppr.ErrNoPersistence):
+		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError
 	}
@@ -307,6 +311,18 @@ func (h *Handler) handleQuery(r *http.Request) (any, error) {
 		resp.Results[i] = res
 	}
 	return resp, nil
+}
+
+// handleCheckpoint serializes the service's durable state on demand. It is
+// the admin hook operators (or a cron job) hit to bound WAL replay length;
+// the periodic -checkpoint-every ticker of dppr-httpd calls the same
+// Service method. A service without a data directory answers 409.
+func (h *Handler) handleCheckpoint(*http.Request) (any, error) {
+	lsn, err := h.svc.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	return CheckpointResponse{LSN: lsn}, nil
 }
 
 func (h *Handler) handleEdges(r *http.Request) (any, error) {

@@ -95,6 +95,14 @@ func NewSnapshotSlot() *SnapshotSlot {
 	return &SnapshotSlot{bufs: [2]*Snapshot{{}, {}}}
 }
 
+// SeedEpoch primes the publication counter so the next Publish carries epoch
+// e+1. It exists for crash recovery: a source restored from a checkpoint
+// taken at epoch E seeds its slot with E−1 and republishes the restored
+// state, so readers observe the same epoch they would have seen from the
+// original process and epochs never regress across a restart. SeedEpoch must
+// be called before the first Publish, from the slot's write side.
+func (sl *SnapshotSlot) SeedEpoch(e uint64) { sl.epoch = e }
+
 // Publish copies the state's estimate vector into the spare buffer, records
 // the residual norm, and atomically swaps the buffer in as the current
 // snapshot. It must only be called after the engine has converged st, and

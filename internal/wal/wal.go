@@ -1,0 +1,460 @@
+// Package wal implements the write-ahead log of the durable serving layer: an
+// append-only file of length-prefixed, CRC32-checksummed records journaling
+// every mutation a Service accepts — edge-update batches and source
+// add/remove — so that accumulated state survives a crash.
+//
+// # File layout
+//
+// A log file starts with a 20-byte header
+//
+//	magic   [8]byte  "DPPRWAL1" (format version baked into the last byte)
+//	baseLSN uint64   little-endian
+//	crc     uint32   little-endian, CRC-32C of the preceding 16 bytes
+//
+// followed by zero or more records
+//
+//	length  uint32   little-endian, payload bytes
+//	crc     uint32   little-endian, CRC-32C (Castagnoli) of the payload
+//	payload [length]byte
+//
+// The LSN (log sequence number) of a record is implicit: baseLSN plus its
+// index in the file. Checkpoints record the LSN their state covers; recovery
+// replays only records with a higher LSN, and checkpointing rotates the log
+// to a fresh file whose baseLSN equals the covered LSN, so the two files can
+// never disagree about which updates a record index refers to.
+//
+// # Torn tails versus corruption
+//
+// A crash can tear the final record: the process died between the write and
+// the (optional) fsync, leaving a short or bit-damaged tail. Open treats any
+// unparseable suffix that extends to end-of-file as a torn tail and truncates
+// it — those updates were never acknowledged as durable. A damaged record
+// that is *followed by further bytes* cannot be a torn tail (appends are
+// strictly sequential), so Open refuses the file instead of silently
+// dropping acknowledged records. ReadAll is the strict variant used by the
+// fuzz harness and tooling: every anomaly, torn or not, is an error.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dynppr/internal/fsatomic"
+	"dynppr/internal/graph"
+	"dynppr/internal/stream"
+)
+
+const (
+	magic      = "DPPRWAL1"
+	headerSize = 8 + 8 + 4 // magic + baseLSN + header CRC
+	// frameSize is the per-record framing overhead: length + crc.
+	frameSize = 4 + 4
+	// MaxRecordSize bounds one record's payload; larger length prefixes are
+	// treated as damage. 64 MiB holds tens of millions of updates, far
+	// beyond any batch the write pipeline accepts.
+	MaxRecordSize = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a damaged record that cannot be a torn tail (valid data
+// follows it) or a record whose checksum passes but whose payload does not
+// decode. Recovery must not silently skip such records: they were
+// acknowledged as durable.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged mutation
+	// survives power loss. This is the durable default.
+	SyncAlways SyncPolicy = iota
+	// SyncNone never fsyncs on append (only on rotation and close): the OS
+	// decides when pages reach disk. An OS crash can lose the most recent
+	// acknowledged mutations, but never corrupts the recoverable prefix.
+	SyncNone
+)
+
+// String names the policy ("always"/"none").
+func (p SyncPolicy) String() string {
+	if p == SyncNone {
+		return "none"
+	}
+	return "always"
+}
+
+// Options configure a Log.
+type Options struct {
+	// Sync is the fsync policy for appends.
+	Sync SyncPolicy
+}
+
+// RecordType distinguishes the journaled mutation kinds.
+type RecordType uint8
+
+const (
+	// RecordBatch journals one edge-update batch, no-op updates included,
+	// so replay reproduces the original ApplyBatch call exactly.
+	RecordBatch RecordType = 1
+	// RecordAddSource journals the start of tracking for a source.
+	RecordAddSource RecordType = 2
+	// RecordRemoveSource journals the end of tracking for a source.
+	RecordRemoveSource RecordType = 3
+)
+
+// Record is one decoded log entry.
+type Record struct {
+	// LSN is the record's log sequence number (baseLSN + index in file).
+	LSN uint64
+	// Type selects which of the payload fields is meaningful.
+	Type RecordType
+	// Batch is the update batch of a RecordBatch.
+	Batch stream.Batch
+	// Source is the vertex of a RecordAddSource / RecordRemoveSource.
+	Source graph.VertexID
+	// Offset is the file offset of the record's length prefix.
+	Offset int64
+	// EncodedLen is the record's full on-disk size (framing + payload).
+	EncodedLen int
+}
+
+// Log is an append-only journal open for writing. It is not safe for
+// concurrent use: the Service serializes every append on its write pipeline.
+type Log struct {
+	path string
+	opts Options
+	f    *os.File
+	base uint64
+	next uint64
+	size int64
+	buf  []byte // encoding scratch, reused across appends
+}
+
+// OpenOrCreate opens the log at path for appending, scanning existing
+// records and truncating a torn tail, and returns the records that survived
+// so recovery can replay them. A missing file — or one whose 16-byte header
+// itself was torn — is (re)created empty with createBase as its baseLSN.
+// Mid-file damage returns ErrCorrupt.
+func OpenOrCreate(path string, createBase uint64, opts Options) (*Log, []Record, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) || (err == nil && len(data) < headerSize) {
+		l, cerr := create(path, createBase, opts)
+		return l, nil, cerr
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	base, recs, valid, err := scan(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if valid < int64(len(data)) {
+		// Torn tail: discard the unacknowledged suffix before appending.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Log{
+		path: path, opts: opts, f: f,
+		base: base, next: base + uint64(len(recs)), size: valid,
+	}, recs, nil
+}
+
+// create writes a fresh log (header only) at path via a temp file and atomic
+// rename, so a crash mid-create never leaves a half-written header behind.
+func create(path string, base uint64, opts Options) (*Log, error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	// The header CRC covers the baseLSN: record payloads carry their own
+	// checksums, and without this one a flipped baseLSN bit would silently
+	// relabel every record's LSN — recovery would then skip acknowledged
+	// mutations (or replay covered ones) without any error.
+	var hdr [headerSize]byte
+	copy(hdr[:], magic)
+	binary.LittleEndian.PutUint64(hdr[8:], base)
+	binary.LittleEndian.PutUint32(hdr[16:], crc32.Checksum(hdr[:16], castagnoli))
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := fsatomic.SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{path: path, opts: opts, f: f, base: base, next: base, size: headerSize}, nil
+}
+
+// BaseLSN returns the LSN of the first record slot of the current file.
+func (l *Log) BaseLSN() uint64 { return l.base }
+
+// NextLSN returns the LSN the next append will receive — equivalently, the
+// total number of mutations journaled across all rotations.
+func (l *Log) NextLSN() uint64 { return l.next }
+
+// Size returns the current file size in bytes.
+func (l *Log) Size() int64 { return l.size }
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// frameReserve returns the reusable scratch buffer with frameSize bytes
+// reserved at the front for the length/CRC header, which append backfills
+// once the payload is encoded behind it — one buffer, one Write, no
+// per-record allocation.
+func (l *Log) frameReserve() []byte {
+	return append(l.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+}
+
+// AppendBatch journals an edge-update batch and returns its LSN. Every
+// update must be Representable; anything else is rejected rather than
+// mis-encoded.
+func (l *Log) AppendBatch(b stream.Batch) (uint64, error) {
+	buf, err := appendBatchPayload(l.frameReserve(), b)
+	if err != nil {
+		return 0, err
+	}
+	return l.append(buf)
+}
+
+// AppendAddSource journals the start of tracking for source.
+func (l *Log) AppendAddSource(source graph.VertexID) (uint64, error) {
+	return l.append(appendSourcePayload(l.frameReserve(), RecordAddSource, source))
+}
+
+// AppendRemoveSource journals the end of tracking for source.
+func (l *Log) AppendRemoveSource(source graph.VertexID) (uint64, error) {
+	return l.append(appendSourcePayload(l.frameReserve(), RecordRemoveSource, source))
+}
+
+// append backfills the frame header of a buffer built by frameReserve and
+// writes the whole record with one Write call — a torn write can only
+// shorten the tail, which Open truncates.
+func (l *Log) append(buf []byte) (uint64, error) {
+	l.buf = buf // keep the grown scratch buffer
+	payload := buf[frameSize:]
+	if len(payload) > MaxRecordSize {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d byte limit", len(payload), MaxRecordSize)
+	}
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
+	if _, err := l.f.Write(buf); err != nil {
+		l.rollback()
+		return 0, err
+	}
+	if l.opts.Sync == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			// The record bytes may already be in the file; reporting failure
+			// while leaving them behind would let recovery resurrect a
+			// mutation the caller was told was rejected. Best-effort
+			// truncate back to the pre-append size closes that window.
+			l.rollback()
+			return 0, err
+		}
+	}
+	lsn := l.next
+	l.next++
+	l.size += int64(len(buf))
+	return lsn, nil
+}
+
+// rollback discards a failed append's partial bytes so the on-disk log
+// matches what the caller was acknowledged. Errors are swallowed: the
+// Service marks persistence sticky-failed after any append error, so no
+// further writes will land either way, and Open truncates whatever remains.
+func (l *Log) rollback() {
+	if err := l.f.Truncate(l.size); err != nil {
+		return
+	}
+	_, _ = l.f.Seek(l.size, io.SeekStart)
+}
+
+// Sync flushes the log to stable storage regardless of the append policy.
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Policy returns the log's append fsync policy.
+func (l *Log) Policy() SyncPolicy { return l.opts.Sync }
+
+// Rotate replaces the log with a fresh, empty file whose baseLSN is newBase,
+// via a temp file and atomic rename. It is called immediately after a
+// checkpoint covering every journaled record (newBase must equal NextLSN):
+// the dropped records are all captured by the checkpoint, and a crash at any
+// point leaves either the old file (whose covered prefix recovery skips by
+// LSN) or the new one.
+func (l *Log) Rotate(newBase uint64) error {
+	if newBase != l.next {
+		return fmt.Errorf("wal: rotate to base %d would lose records (next LSN %d)", newBase, l.next)
+	}
+	fresh, err := create(l.path, newBase, l.opts)
+	if err != nil {
+		return err
+	}
+	old := l.f
+	l.f = fresh.f
+	l.base = newBase
+	l.size = fresh.size
+	return old.Close()
+}
+
+// Close flushes and closes the log file.
+func (l *Log) Close() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding. Format: one type byte, then
+//
+//	RecordBatch:        uvarint count, count × (op byte, uvarint u, uvarint v)
+//	RecordAdd/Remove:   uvarint source
+//
+// with op 0 = insert, 1 = delete.
+
+const (
+	opInsert byte = 0
+	opDelete byte = 1
+)
+
+// Representable reports whether an update can be journaled: a recognized op
+// and non-negative endpoints. Unrepresentable updates are always no-ops to
+// apply (the graph skips them), so callers drop them from the journaled
+// batch rather than mis-encode them — a zero-valued Op written as an insert,
+// or a negative id written as a huge uvarint, would make replay diverge from
+// (or outright refuse) what the original process did.
+func Representable(u stream.Update) bool {
+	return (u.Op == stream.Insert || u.Op == stream.Delete) && u.U >= 0 && u.V >= 0
+}
+
+func appendBatchPayload(buf []byte, b stream.Batch) ([]byte, error) {
+	buf = append(buf, byte(RecordBatch))
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	for _, u := range b {
+		if !Representable(u) {
+			return nil, fmt.Errorf("wal: update %+v is not journalable (filter with Representable)", u)
+		}
+		op := opInsert
+		if u.Op == stream.Delete {
+			op = opDelete
+		}
+		buf = append(buf, op)
+		buf = binary.AppendUvarint(buf, uint64(u.U))
+		buf = binary.AppendUvarint(buf, uint64(u.V))
+	}
+	return buf, nil
+}
+
+func appendSourcePayload(buf []byte, t RecordType, source graph.VertexID) []byte {
+	buf = append(buf, byte(t))
+	return binary.AppendUvarint(buf, uint64(source))
+}
+
+// decodePayload strictly parses one record payload. Every malformation is an
+// error: the payload sits behind a valid checksum, so damage here is real
+// corruption, not a torn write.
+func decodePayload(lsn uint64, p []byte) (Record, error) {
+	rec := Record{LSN: lsn}
+	if len(p) == 0 {
+		return rec, fmt.Errorf("empty payload")
+	}
+	rec.Type = RecordType(p[0])
+	p = p[1:]
+	switch rec.Type {
+	case RecordBatch:
+		count, n := binary.Uvarint(p)
+		if n <= 0 {
+			return rec, fmt.Errorf("bad batch count varint")
+		}
+		p = p[n:]
+		// Each update occupies at least 3 bytes, so a forged count cannot
+		// force a huge allocation.
+		if count > uint64(len(p))/3+1 {
+			return rec, fmt.Errorf("batch count %d exceeds payload size", count)
+		}
+		rec.Batch = make(stream.Batch, 0, count)
+		for i := uint64(0); i < count; i++ {
+			if len(p) == 0 {
+				return rec, fmt.Errorf("batch truncated at update %d", i)
+			}
+			var op stream.Op
+			switch p[0] {
+			case opInsert:
+				op = stream.Insert
+			case opDelete:
+				op = stream.Delete
+			default:
+				return rec, fmt.Errorf("unknown op byte %d", p[0])
+			}
+			p = p[1:]
+			u, err := takeVertex(&p)
+			if err != nil {
+				return rec, fmt.Errorf("update %d: %w", i, err)
+			}
+			v, err := takeVertex(&p)
+			if err != nil {
+				return rec, fmt.Errorf("update %d: %w", i, err)
+			}
+			rec.Batch = append(rec.Batch, stream.Update{U: u, V: v, Op: op})
+		}
+		if len(p) != 0 {
+			return rec, fmt.Errorf("%d trailing bytes after batch", len(p))
+		}
+	case RecordAddSource, RecordRemoveSource:
+		s, err := takeVertex(&p)
+		if err != nil {
+			return rec, err
+		}
+		if len(p) != 0 {
+			return rec, fmt.Errorf("%d trailing bytes after source", len(p))
+		}
+		rec.Source = s
+	default:
+		return rec, fmt.Errorf("unknown record type %d", rec.Type)
+	}
+	return rec, nil
+}
+
+// takeVertex consumes one uvarint vertex id, rejecting values beyond the
+// int32 id space.
+func takeVertex(p *[]byte) (graph.VertexID, error) {
+	x, n := binary.Uvarint(*p)
+	if n <= 0 {
+		return 0, fmt.Errorf("bad vertex varint")
+	}
+	*p = (*p)[n:]
+	if x > uint64(1<<31-1) {
+		return 0, fmt.Errorf("vertex id %d overflows int32", x)
+	}
+	return graph.VertexID(x), nil
+}

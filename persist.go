@@ -1,0 +1,411 @@
+package dynppr
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+
+	"dynppr/internal/ckpt"
+	"dynppr/internal/graph"
+	"dynppr/internal/push"
+	"dynppr/internal/wal"
+)
+
+// Durable serving: a persistent Service journals every mutation to a
+// write-ahead log and periodically serializes its whole state — graph,
+// source set, converged per-source push states — to a checkpoint, so a
+// crashed or restarted server resumes from exactly where it stopped instead
+// of re-ingesting the world.
+//
+// The data directory holds two files:
+//
+//	checkpoint  the latest complete state snapshot (atomic-rename replaced)
+//	wal.log     mutations journaled since that snapshot
+//
+// Recovery loads the checkpoint, replays the WAL suffix past the
+// checkpoint's sequence number through the ordinary write pipeline (so each
+// replayed batch converges exactly as it originally did), and re-checkpoints.
+// Under EngineDeterministic the recovered estimates, residuals and snapshot
+// epochs are bit-identical to a process that never crashed, because the
+// checkpoint preserves adjacency-list order — the floating-point summation
+// order of subsequent pushes — and the snapshot epochs it had published.
+
+// SyncPolicy selects when WAL appends reach stable storage; see the wal
+// package for the exact guarantees.
+type SyncPolicy = wal.SyncPolicy
+
+// WAL fsync policies.
+const (
+	// SyncAlways fsyncs every append: acknowledged mutations survive power
+	// loss. The durable default.
+	SyncAlways = wal.SyncAlways
+	// SyncNone leaves flushing to the OS: faster, but an OS crash can lose
+	// the most recently acknowledged mutations (never corrupting the
+	// recoverable prefix).
+	SyncNone = wal.SyncNone
+)
+
+// ParseSyncPolicy parses the -fsync flag values "always" and "none".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("dynppr: unknown fsync policy %q (want \"always\" or \"none\")", s)
+	}
+}
+
+// PersistOptions configure the durability layer of a Service.
+type PersistOptions struct {
+	// Dir is the data directory; it is created if missing.
+	Dir string
+	// Sync is the WAL fsync policy.
+	Sync SyncPolicy
+}
+
+// ErrNoPersistence is returned by Checkpoint on a service built without a
+// data directory.
+var ErrNoPersistence = errors.New("dynppr: service has no persistence configured")
+
+func checkpointPath(dir string) string { return filepath.Join(dir, "checkpoint") }
+func walPath(dir string) string        { return filepath.Join(dir, "wal.log") }
+
+// CheckpointExists reports whether dir holds a checkpoint to recover from —
+// the discriminator daemons use between a fresh start and a recovery boot.
+func CheckpointExists(dir string) bool {
+	_, err := os.Stat(checkpointPath(dir))
+	return err == nil
+}
+
+// persistence is the durability state attached to a Service. The log and
+// failed fields are pipeline-owned; the atomic mirrors feed Stats.
+type persistence struct {
+	dir string
+	log *wal.Log
+	// failed is the sticky journal error: once an append or checkpoint
+	// write fails, every later mutation is rejected with it, so the
+	// in-memory state never diverges from what recovery can rebuild.
+	failed error
+
+	nextLSN     atomic.Uint64
+	ckptLSN     atomic.Uint64
+	checkpoints atomic.Int64
+	// failedMsg mirrors failed for Stats readers (failed itself is
+	// pipeline-owned), so monitoring can see that the service has gone
+	// read-only instead of inferring it from per-request errors.
+	failedMsg atomic.Pointer[string]
+}
+
+func (p *persistence) fail(err error) error {
+	p.failed = fmt.Errorf("dynppr: persistence failed (mutations disabled): %w", err)
+	msg := p.failed.Error()
+	p.failedMsg.Store(&msg)
+	return p.failed
+}
+
+func (p *persistence) close() error {
+	return p.log.Close()
+}
+
+// PersistenceStats reports the durability layer's state inside ServiceStats.
+type PersistenceStats struct {
+	// Dir is the data directory.
+	Dir string
+	// Sync names the WAL fsync policy.
+	Sync string
+	// NextLSN is the sequence number the next journaled mutation will
+	// receive — the total number of mutations journaled over the service's
+	// lifetime, rotations included.
+	NextLSN uint64
+	// LastCheckpointLSN is the sequence number covered by the most recent
+	// checkpoint; NextLSN − LastCheckpointLSN mutations would replay on a
+	// crash right now.
+	LastCheckpointLSN uint64
+	// Checkpoints counts completed Checkpoint calls (the construction-time
+	// one included).
+	Checkpoints int64
+	// Failed carries the sticky persistence error once journaling or
+	// checkpointing has failed — the service is serving reads but
+	// rejecting every mutation until restarted. Empty while healthy.
+	Failed string
+}
+
+func (s *Service) persistenceStats() *PersistenceStats {
+	p := s.persist.Load()
+	if p == nil {
+		return nil
+	}
+	st := &PersistenceStats{
+		Dir:               p.dir,
+		Sync:              p.log.Policy().String(),
+		NextLSN:           p.nextLSN.Load(),
+		LastCheckpointLSN: p.ckptLSN.Load(),
+		Checkpoints:       p.checkpoints.Load(),
+	}
+	if msg := p.failedMsg.Load(); msg != nil {
+		st.Failed = *msg
+	}
+	return st
+}
+
+// journal is the write-ahead hook of the pipeline: it runs the given append
+// on the pipeline goroutine before the corresponding mutation is applied. It
+// is a no-op on an in-memory service, and any append failure sticks — later
+// mutations are rejected so the in-memory state never runs ahead of what
+// recovery can reconstruct.
+func (s *Service) journal(appendRec func(*wal.Log) (uint64, error)) error {
+	p := s.persist.Load()
+	if p == nil {
+		return nil
+	}
+	if p.failed != nil {
+		return p.failed
+	}
+	if _, err := appendRec(p.log); err != nil {
+		return p.fail(err)
+	}
+	p.nextLSN.Store(p.log.NextLSN())
+	return nil
+}
+
+func (s *Service) journalBatch(b Batch) error {
+	// Drop updates the WAL cannot represent (unknown op, negative id).
+	// They are exactly the updates the apply path skips as no-ops, so the
+	// journaled batch replays to the same state — whereas mis-encoding
+	// them would make recovery diverge (a zero Op read back as an insert)
+	// or refuse the file (a negative id read back as an overflow).
+	journalable := b
+	for i, u := range b {
+		if !wal.Representable(u) {
+			journalable = make(Batch, i, len(b))
+			copy(journalable, b[:i])
+			for _, rest := range b[i:] {
+				if wal.Representable(rest) {
+					journalable = append(journalable, rest)
+				}
+			}
+			break
+		}
+	}
+	return s.journal(func(l *wal.Log) (uint64, error) { return l.AppendBatch(journalable) })
+}
+
+func (s *Service) journalAddSource(source VertexID) error {
+	return s.journal(func(l *wal.Log) (uint64, error) { return l.AppendAddSource(source) })
+}
+
+func (s *Service) journalRemoveSource(source VertexID) error {
+	return s.journal(func(l *wal.Log) (uint64, error) { return l.AppendRemoveSource(source) })
+}
+
+// Checkpoint serializes the service's entire state — graph, source set,
+// every source's converged estimates/residuals and snapshot epoch — to the
+// data directory, atomically replacing the previous checkpoint, and rotates
+// the WAL to a fresh file covered by it. It runs on the write pipeline, so
+// it observes a quiescent state between batches; readers are never blocked.
+// It returns the WAL sequence number the checkpoint covers.
+func (s *Service) Checkpoint() (uint64, error) {
+	type outcome struct {
+		lsn uint64
+		err error
+	}
+	ch := make(chan outcome, 1)
+	if err := s.submit(func() {
+		lsn, err := s.doCheckpoint()
+		ch <- outcome{lsn: lsn, err: err}
+	}); err != nil {
+		return 0, err
+	}
+	o := <-ch
+	return o.lsn, o.err
+}
+
+func (s *Service) doCheckpoint() (uint64, error) {
+	p := s.persist.Load()
+	if p == nil {
+		return 0, ErrNoPersistence
+	}
+	if p.failed != nil {
+		return 0, p.failed
+	}
+	lsn := p.log.NextLSN()
+	data := s.checkpointData(lsn)
+	if err := ckpt.WriteFile(checkpointPath(p.dir), data); err != nil {
+		return 0, p.fail(err)
+	}
+	if err := p.log.Rotate(lsn); err != nil {
+		return 0, p.fail(err)
+	}
+	p.ckptLSN.Store(lsn)
+	p.checkpoints.Add(1)
+	return lsn, nil
+}
+
+// checkpointData captures the pipeline-quiescent state. The adjacency
+// slices alias the live graph (Estimates/Residuals already copy), which is
+// safe only because ckpt.WriteFile serializes them before this pipeline
+// step completes — no mutation can run until then. Moving the disk write
+// off the pipeline would require deep-copying the adjacency first.
+func (s *Service) checkpointData(lsn uint64) *ckpt.Data {
+	n := s.g.NumVertices()
+	out := make([][]graph.VertexID, n)
+	in := make([][]graph.VertexID, n)
+	for v := 0; v < n; v++ {
+		out[v] = s.g.OutNeighbors(VertexID(v))
+		in[v] = s.g.InNeighbors(VertexID(v))
+	}
+	sources := s.allSources()
+	sort.Slice(sources, func(i, j int) bool { return sources[i].source < sources[j].source })
+	data := &ckpt.Data{
+		LSN:     lsn,
+		Alpha:   s.opts.Options.Alpha,
+		Epsilon: s.opts.Options.Epsilon,
+		Out:     out,
+		In:      in,
+	}
+	for _, src := range sources {
+		data.Sources = append(data.Sources, ckpt.Source{
+			Source:    src.source,
+			Epoch:     src.slot.Epoch(),
+			Estimates: src.st.Estimates(),
+			Residuals: src.st.Residuals(),
+		})
+	}
+	return data
+}
+
+// NewPersistentService is NewService plus durability: the data directory is
+// initialized with a checkpoint of the cold-started state and an empty WAL,
+// and every subsequent mutation is journaled. The directory must not already
+// hold a checkpoint — recover one with NewServiceFromRecovery instead.
+func NewPersistentService(g *Graph, sources []VertexID, so ServiceOptions, po PersistOptions) (*Service, error) {
+	if po.Dir == "" {
+		return nil, fmt.Errorf("dynppr: PersistOptions.Dir is required")
+	}
+	if err := os.MkdirAll(po.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	if CheckpointExists(po.Dir) {
+		return nil, fmt.Errorf("dynppr: %s already holds a checkpoint; recover it with NewServiceFromRecovery", po.Dir)
+	}
+	log, stale, err := wal.OpenOrCreate(walPath(po.Dir), 0, wal.Options{Sync: po.Sync})
+	if err != nil {
+		return nil, err
+	}
+	if len(stale) > 0 {
+		log.Close()
+		return nil, fmt.Errorf("dynppr: %s holds a WAL with %d records but no checkpoint to anchor them", po.Dir, len(stale))
+	}
+	svc, err := NewService(g, sources, so)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	return finishPersistentBoot(svc, po, log, true)
+}
+
+// NewServiceFromRecovery rebuilds a persistent Service from its data
+// directory: the latest checkpoint is loaded, the WAL suffix past its
+// sequence number is replayed through the ordinary write pipeline (torn
+// final records — mutations never acknowledged as durable — are discarded),
+// and a fresh checkpoint is written before the service is returned. The
+// scheme parameters (α, ε) are restored from the checkpoint; engine and
+// pool options come from so. Snapshot epochs resume exactly where the
+// recovered state left them, so they never regress across a restart.
+func NewServiceFromRecovery(so ServiceOptions, po PersistOptions) (*Service, error) {
+	data, err := ckpt.LoadFile(checkpointPath(po.Dir))
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.FromAdjacency(data.Out, data.In)
+	if err != nil {
+		return nil, fmt.Errorf("dynppr: recovering %s: %w", po.Dir, err)
+	}
+	so.Options.Alpha = data.Alpha
+	so.Options.Epsilon = data.Epsilon
+	cfg := push.Config{Alpha: data.Alpha, Epsilon: data.Epsilon}
+	recovered := make([]seedSource, 0, len(data.Sources))
+	for _, cs := range data.Sources {
+		st, err := push.RestoreState(g, cs.Source, cfg, cs.Estimates, cs.Residuals)
+		if err != nil {
+			return nil, fmt.Errorf("dynppr: recovering source %d: %w", cs.Source, err)
+		}
+		recovered = append(recovered, seedSource{source: cs.Source, epoch: cs.Epoch, st: st})
+	}
+
+	// Open the WAL before attaching it: a torn tail is truncated here, and
+	// the surviving records are replayed below. A missing or torn-header
+	// file recreates an empty log based at the checkpoint's LSN.
+	log, records, err := wal.OpenOrCreate(walPath(po.Dir), data.LSN, wal.Options{Sync: po.Sync})
+	if err != nil {
+		return nil, err
+	}
+	if log.BaseLSN() > data.LSN {
+		log.Close()
+		return nil, fmt.Errorf("dynppr: WAL starts at LSN %d but the checkpoint only covers %d: records are missing",
+			log.BaseLSN(), data.LSN)
+	}
+
+	svc, err := newService(g, so, nil, recovered)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	// Replay the suffix past the checkpoint through the ordinary pipeline:
+	// each batch restores invariants and converges exactly as it originally
+	// did. Journaling is not yet attached, so replay does not re-journal.
+	replayed := 0
+	for _, rec := range records {
+		if rec.LSN < data.LSN {
+			continue // covered by the checkpoint (crash between rename and rotate)
+		}
+		replayed++
+		var rerr error
+		switch rec.Type {
+		case wal.RecordBatch:
+			_, rerr = svc.ApplyBatch(rec.Batch)
+		case wal.RecordAddSource:
+			rerr = svc.AddSource(rec.Source)
+		case wal.RecordRemoveSource:
+			rerr = svc.RemoveSource(rec.Source)
+		default:
+			rerr = fmt.Errorf("unknown record type %d", rec.Type)
+		}
+		if rerr != nil {
+			svc.Close()
+			log.Close()
+			return nil, fmt.Errorf("dynppr: replaying WAL record %d: %w", rec.LSN, rerr)
+		}
+	}
+	// A clean restart — nothing replayed, WAL already rotated to the
+	// checkpoint's LSN — would re-serialize a byte-identical checkpoint;
+	// skip that write. Any other shape re-checkpoints so the on-disk pair
+	// reflects exactly the state being served.
+	checkpoint := replayed > 0 || log.BaseLSN() != data.LSN || log.NextLSN() != data.LSN
+	return finishPersistentBoot(svc, po, log, checkpoint)
+}
+
+// finishPersistentBoot attaches the journal to a fully constructed service
+// and (unless the loaded checkpoint already covers the exact current state)
+// writes a checkpoint covering everything journaled or replayed so far,
+// rotating the WAL behind it. Both boot paths end here, which keeps the
+// on-disk invariant simple: a returned persistent service always has a
+// checkpoint of its exact current state and an empty journal.
+func finishPersistentBoot(svc *Service, po PersistOptions, log *wal.Log, checkpoint bool) (*Service, error) {
+	p := &persistence{dir: po.Dir, log: log}
+	p.nextLSN.Store(log.NextLSN())
+	p.ckptLSN.Store(log.BaseLSN())
+	svc.persist.Store(p)
+	if checkpoint {
+		if _, err := svc.Checkpoint(); err != nil {
+			svc.Close() // closes the log via persistence
+			return nil, err
+		}
+	}
+	return svc, nil
+}

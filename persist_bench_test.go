@@ -1,0 +1,132 @@
+// Benchmarks of the persistence subsystem, recorded alongside
+// BenchmarkBatchApplyEngines in BENCH_PR4.json so dppr-benchdiff gates both
+// the journaling hot path and the absence of overhead when journaling is
+// off (BatchApplyEngines runs on an in-memory Tracker).
+package dynppr_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dynppr"
+	"dynppr/internal/wal"
+)
+
+// walBenchBatch builds a deterministic 1000-update batch.
+func walBenchBatch(b *testing.B) dynppr.Batch {
+	b.Helper()
+	batch := make(dynppr.Batch, 1000)
+	for i := range batch {
+		op := dynppr.Insert
+		if i%4 == 3 {
+			op = dynppr.Delete
+		}
+		batch[i] = dynppr.Update{
+			U: dynppr.VertexID(i * 7 % 5000), V: dynppr.VertexID(i * 13 % 5000), Op: op,
+		}
+	}
+	return batch
+}
+
+// BenchmarkWALAppend measures the journaling hot path: encoding + appending
+// one 1000-update batch record, with and without a per-append fsync. The
+// sync=none number is the marginal cost ApplyBatch pays on a persistent
+// service before any push work starts; sync=always adds the durability
+// fsync and is dominated by the storage stack.
+func BenchmarkWALAppend(b *testing.B) {
+	batch := walBenchBatch(b)
+	for _, tc := range []struct {
+		name string
+		sync wal.SyncPolicy
+	}{
+		{"sync=none", wal.SyncNone},
+		{"sync=always", wal.SyncAlways},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			path := filepath.Join(b.TempDir(), "wal.log")
+			l, _, err := wal.OpenOrCreate(path, 0, wal.Options{Sync: tc.sync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.AppendBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(batch)), "updates/record")
+			b.ReportMetric(float64(l.Size())/float64(b.N), "bytes/record")
+		})
+	}
+}
+
+// BenchmarkRecovery measures a full recovery boot — checkpoint load, graph
+// and state reconstruction, WAL-suffix replay (8 batches of 200 updates),
+// and the boot-time re-checkpoint — of a 3000-vertex service with two
+// tracked sources. Each iteration recovers a pristine copy of the same data
+// directory.
+func BenchmarkRecovery(b *testing.B) {
+	const batches = 8
+	edges, err := dynppr.GenerateEdges(dynppr.SyntheticConfig{
+		Name: "recovery-bench", Model: dynppr.ModelRMAT, Vertices: 3000, Edges: 30000, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := dynppr.NewStream(edges, 4)
+	window, initial := dynppr.NewSlidingWindow(stream, 0.5)
+	g := dynppr.GraphFromEdges(initial)
+	sources := g.TopDegreeVertices(2)
+
+	so := dynppr.DefaultServiceOptions()
+	so.Options.Engine = dynppr.EngineDeterministic
+	so.Options.Epsilon = 1e-5
+
+	pristine := filepath.Join(b.TempDir(), "data")
+	svc, err := dynppr.NewPersistentService(g, sources, so,
+		dynppr.PersistOptions{Dir: pristine, Sync: dynppr.SyncNone})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < batches; i++ {
+		if _, err := svc.ApplyBatch(window.Slide(200)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	copyDir := func(dst string) {
+		for _, name := range []string{"checkpoint", "wal.log"} {
+			data, err := os.ReadFile(filepath.Join(pristine, name))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dst, name), data, 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		copyDir(dir)
+		b.StartTimer()
+		rec, err := dynppr.NewServiceFromRecovery(so, dynppr.PersistOptions{Dir: dir, Sync: dynppr.SyncNone})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(batches, "replayed-batches/op")
+}

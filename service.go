@@ -70,6 +70,12 @@ type Service struct {
 	shardCh  []chan shardJob
 	workerWG sync.WaitGroup
 
+	// persist is the optional durability layer (WAL + checkpoints); nil for
+	// an in-memory service. The pointer is swapped in once during
+	// construction/recovery and its mutable fields are pipeline-owned (see
+	// persist.go).
+	persist atomic.Pointer[persistence]
+
 	// Aggregate statistics, updated by the pipeline, read by Stats.
 	batches      atomic.Int64
 	applied      atomic.Int64
@@ -113,6 +119,11 @@ type ServiceOptions struct {
 	QueueDepth int
 }
 
+// Options returns the options the service runs with. For a service built by
+// NewServiceFromRecovery, Alpha and Epsilon carry the checkpoint's restored
+// values rather than whatever the caller passed in.
+func (s *Service) Options() ServiceOptions { return s.opts }
+
 // DefaultServiceOptions returns the default tracking options with a
 // GOMAXPROCS-sized shard pool.
 func DefaultServiceOptions() ServiceOptions {
@@ -133,11 +144,41 @@ var (
 // and starts the write pipeline and shard workers. The service takes
 // ownership of g: the caller must not read or mutate it afterwards.
 // Close must be called to release the worker goroutines.
+//
+// A Service built this way is in-memory only; use NewPersistentService or
+// NewServiceFromRecovery for one whose state survives restarts.
 func NewService(g *Graph, sources []VertexID, so ServiceOptions) (*Service, error) {
+	return newService(g, so, sources, nil)
+}
+
+// seedSource is one source restored from a checkpoint: its converged state
+// and the snapshot epoch it had published, so recovery republishes at the
+// same epoch instead of restarting from 1.
+type seedSource struct {
+	source VertexID
+	epoch  uint64
+	st     *push.State
+}
+
+// newService is the shared constructor: cold lists the sources to cold-start
+// from scratch (the NewService path), recovered carries checkpointed states
+// to republish without re-running any push (the recovery path). Exactly one
+// of the two is non-nil.
+func newService(g *Graph, so ServiceOptions, cold []VertexID, recovered []seedSource) (*Service, error) {
 	if err := so.Options.Validate(); err != nil {
 		return nil, err
 	}
-	if err := validateSources(sources); err != nil {
+	sources := cold
+	if recovered != nil {
+		// Checkpointed source sets are unique by format (strictly ascending)
+		// and may legitimately be empty: a live service can drop its last
+		// source through RemoveSource, and recovery must be able to rebuild
+		// that state rather than refuse its own checkpoint.
+		sources = make([]VertexID, len(recovered))
+		for i, rs := range recovered {
+			sources[i] = rs.source
+		}
+	} else if err := validateSources(sources); err != nil {
 		return nil, err
 	}
 	if so.PoolWorkers <= 0 {
@@ -164,9 +205,14 @@ func NewService(g *Graph, sources []VertexID, so ServiceOptions) (*Service, erro
 		if err != nil {
 			return nil, err
 		}
-		st, err := push.NewState(g, s, cfg)
-		if err != nil {
-			return nil, err
+		var st *push.State
+		if recovered != nil {
+			st = recovered[i].st
+		} else {
+			st, err = push.NewState(g, s, cfg)
+			if err != nil {
+				return nil, err
+			}
 		}
 		src := &serviceSource{
 			source: s,
@@ -175,14 +221,24 @@ func NewService(g *Graph, sources []VertexID, so ServiceOptions) (*Service, erro
 			engine: engine,
 			slot:   push.NewSnapshotSlot(),
 		}
+		if recovered != nil {
+			if recovered[i].epoch == 0 {
+				return nil, fmt.Errorf("dynppr: recovered source %d has epoch 0", s)
+			}
+			src.slot.SeedEpoch(recovered[i].epoch - 1)
+		}
 		svc.shards[src.shard] = append(svc.shards[src.shard], src)
 		table[s] = src
 		all = append(all, src)
 	}
-	// Cold-start every source in parallel and publish the first snapshots.
+	// Bring every source to its first published snapshot in parallel: a cold
+	// source converges from scratch, a recovered one republishes its restored
+	// state as-is (it was converged when checkpointed) at its restored epoch.
 	fp.For(len(all), so.PoolWorkers, func(i int) {
 		src := all[i]
-		src.engine.Run(src.st, []graph.VertexID{src.source})
+		if recovered == nil {
+			src.engine.Run(src.st, []graph.VertexID{src.source})
+		}
 		src.slot.Publish(src.st)
 	})
 	svc.table.Store(&table)
@@ -236,9 +292,10 @@ func (s *Service) submit(fn func()) error {
 }
 
 // Close shuts the service down: queued mutations finish, the pipeline and
-// shard workers exit, and every subsequent operation returns
-// ErrServiceClosed. Reads racing with Close may still succeed against the
-// last published snapshots. Close is idempotent.
+// shard workers exit, the write-ahead log (if any) is flushed and closed,
+// and every subsequent operation returns ErrServiceClosed. Reads racing
+// with Close may still succeed against the last published snapshots. Close
+// is idempotent.
 func (s *Service) Close() error {
 	s.closeMu.Lock()
 	if s.closed {
@@ -249,6 +306,10 @@ func (s *Service) Close() error {
 	close(s.work)
 	s.closeMu.Unlock()
 	<-s.done
+	// The pipeline has exited, so nothing appends concurrently.
+	if p := s.persist.Load(); p != nil {
+		return p.close()
+	}
 	return nil
 }
 
@@ -257,12 +318,28 @@ func (s *Service) Close() error {
 // publishes fresh snapshots — all before returning. Concurrent callers are
 // serialized by the pipeline; concurrent readers keep being served from the
 // previous snapshots until the new ones are published.
+//
+// On a persistent service the batch is journaled to the write-ahead log
+// before it is applied; a journal failure rejects the batch (and every
+// later mutation) so the in-memory state never runs ahead of what recovery
+// can reconstruct.
 func (s *Service) ApplyBatch(b Batch) (BatchResult, error) {
-	res := make(chan BatchResult, 1)
-	if err := s.submit(func() { res <- s.doBatch(b) }); err != nil {
+	type outcome struct {
+		res BatchResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	if err := s.submit(func() {
+		if err := s.journalBatch(b); err != nil {
+			ch <- outcome{err: err}
+			return
+		}
+		ch <- outcome{res: s.doBatch(b)}
+	}); err != nil {
 		return BatchResult{}, err
 	}
-	return <-res, nil
+	o := <-ch
+	return o.res, o.err
 }
 
 func (s *Service) doBatch(b Batch) BatchResult {
@@ -320,20 +397,42 @@ func (s *Service) allSources() []*serviceSource {
 // current graph and its first snapshot published before the call returns.
 // Readers of existing sources are never blocked; the new source becomes
 // visible to reads atomically once converged. Adding an already tracked
-// source is an error.
+// source is an error. On a persistent service the addition is journaled
+// (after validation, so the log never records an operation that would fail
+// on replay).
 func (s *Service) AddSource(source VertexID) error {
 	res := make(chan error, 1)
-	if err := s.submit(func() { res <- s.doAddSource(source) }); err != nil {
+	if err := s.submit(func() {
+		if err := s.validateAddSource(source); err != nil {
+			res <- err
+			return
+		}
+		if err := s.journalAddSource(source); err != nil {
+			res <- err
+			return
+		}
+		res <- s.doAddSource(source)
+	}); err != nil {
 		return err
 	}
 	return <-res
 }
 
-func (s *Service) doAddSource(source VertexID) error {
-	old := *s.table.Load()
-	if _, dup := old[source]; dup {
+// validateAddSource runs on the pipeline before the addition is journaled,
+// so the WAL never records an operation that would fail on replay.
+func (s *Service) validateAddSource(source VertexID) error {
+	if source < 0 {
+		return fmt.Errorf("dynppr: source must be non-negative, got %d", source)
+	}
+	if _, dup := (*s.table.Load())[source]; dup {
 		return fmt.Errorf("dynppr: source %d is already tracked", source)
 	}
+	return nil
+}
+
+// doAddSource applies a validated addition (see validateAddSource).
+func (s *Service) doAddSource(source VertexID) error {
+	old := *s.table.Load()
 	engine, err := s.opts.Options.buildEngine()
 	if err != nil {
 		return err
@@ -368,20 +467,33 @@ func (s *Service) doAddSource(source VertexID) error {
 // RemoveSource stops tracking a source and frees its state. In-flight reads
 // that already acquired the source's snapshot complete normally; subsequent
 // reads return ErrUnknownSource. Removing an untracked source is an error.
+// On a persistent service the removal is journaled after validation.
 func (s *Service) RemoveSource(source VertexID) error {
 	res := make(chan error, 1)
-	if err := s.submit(func() { res <- s.doRemoveSource(source) }); err != nil {
+	if err := s.submit(func() {
+		// The lookup doubles as pre-journal validation: an untracked source
+		// is rejected before anything reaches the WAL.
+		src, ok := (*s.table.Load())[source]
+		if !ok {
+			res <- fmt.Errorf("%w: %d", ErrUnknownSource, source)
+			return
+		}
+		if err := s.journalRemoveSource(source); err != nil {
+			res <- err
+			return
+		}
+		res <- s.doRemoveSource(src)
+	}); err != nil {
 		return err
 	}
 	return <-res
 }
 
-func (s *Service) doRemoveSource(source VertexID) error {
+// doRemoveSource applies a removal whose source was already resolved on the
+// pipeline.
+func (s *Service) doRemoveSource(src *serviceSource) error {
+	source := src.source
 	old := *s.table.Load()
-	src, ok := old[source]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownSource, source)
-	}
 	next := make(sourceTable, len(old))
 	for k, v := range old {
 		if k != source {
@@ -581,6 +693,9 @@ type ServiceStats struct {
 	PoolWorkers int
 	// Engine names the push engine kind every source runs.
 	Engine string
+	// Persistence reports the durability layer's state; nil for an
+	// in-memory service.
+	Persistence *PersistenceStats
 }
 
 // AvgBatchLatency returns the mean per-batch pipeline latency.
@@ -606,6 +721,7 @@ func (s *Service) Stats() ServiceStats {
 		Edges:             int(s.edges.Load()),
 		PoolWorkers:       s.opts.PoolWorkers,
 		Engine:            s.opts.Options.Engine.String(),
+		Persistence:       s.persistenceStats(),
 	}
 	for _, src := range table {
 		ss := SourceStats{
