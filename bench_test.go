@@ -7,6 +7,7 @@
 package dynppr_test
 
 import (
+	"sync"
 	"testing"
 
 	"dynppr"
@@ -349,6 +350,93 @@ func BenchmarkBatchApplyEngines(b *testing.B) {
 			// Workers/Parallelism 0 = GOMAXPROCS, so -cpu drives the
 			// degree of parallelism.
 			benchmarkTrackerBatchSized(b, opts, 10000, 200000)
+		})
+	}
+}
+
+// topKBench holds the lazily built 200k-vertex serving pair shared by the
+// BenchmarkTopK subbenchmarks: one service with the incremental Top-K index,
+// one with the index disabled (the dense-scan baseline), both converged over
+// the same R-MAT graph with a small batch applied so the read path sees a
+// post-batch snapshot.
+var topKBench struct {
+	once    sync.Once
+	indexed *dynppr.Service
+	dense   *dynppr.Service
+	source  dynppr.VertexID
+	err     error
+}
+
+func topKBenchSetup() {
+	const vertices, edges = 200_000, 1_000_000
+	all, err := dynppr.GenerateEdges(dynppr.SyntheticConfig{
+		Name: "topk-bench", Model: dynppr.ModelRMAT, Vertices: vertices, Edges: edges, Seed: 11,
+	})
+	if err != nil {
+		topKBench.err = err
+		return
+	}
+	split := edges - 200
+	opts := dynppr.DefaultOptions()
+	opts.Engine = dynppr.EngineDeterministic
+	opts.Epsilon = 1e-4
+	batch := make(dynppr.Batch, 0, edges-split)
+	for _, e := range all[split:] {
+		batch = append(batch, dynppr.Update{U: e.U, V: e.V, Op: dynppr.Insert})
+	}
+	build := func(topKCap int) (*dynppr.Service, dynppr.VertexID, error) {
+		g := dynppr.GraphFromEdges(all[:split])
+		source := g.TopDegreeVertices(1)[0]
+		svc, err := dynppr.NewService(g, []dynppr.VertexID{source}, dynppr.ServiceOptions{
+			Options: opts, PoolWorkers: 1, TopKCap: topKCap,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, err := svc.ApplyBatch(batch); err != nil {
+			svc.Close()
+			return nil, 0, err
+		}
+		return svc, source, nil
+	}
+	if topKBench.indexed, topKBench.source, topKBench.err = build(0); topKBench.err != nil {
+		return
+	}
+	topKBench.dense, _, topKBench.err = build(-1)
+}
+
+// BenchmarkTopK contrasts the two TopK read paths on a 200k-vertex R-MAT
+// workload: path=indexed serves from the incrementally maintained Top-K
+// index embedded in the snapshot (O(k)), path=dense is the heap scan over
+// the full estimate vector (O(n log k)) that every query paid before. The
+// CI gate (dppr-benchdiff -slow dense -fast indexed) asserts the speedup;
+// both paths recycle the result buffer, so the steady state is 0 allocs/op.
+func BenchmarkTopK(b *testing.B) {
+	topKBench.once.Do(topKBenchSetup)
+	if topKBench.err != nil {
+		b.Fatal(topKBench.err)
+	}
+	for _, path := range []struct {
+		name string
+		svc  *dynppr.Service
+	}{
+		{"indexed", topKBench.indexed},
+		{"dense", topKBench.dense},
+	} {
+		b.Run("path="+path.name, func(b *testing.B) {
+			var buf []dynppr.VertexScore
+			var err error
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf, _, err = path.svc.AppendTopK(buf[:0], topKBench.source, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if len(buf) != 10 {
+				b.Fatalf("got %d results", len(buf))
+			}
 		})
 	}
 }

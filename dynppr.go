@@ -377,15 +377,13 @@ func (t *Tracker) applyOne(u Update) bool {
 }
 
 // VertexScore pairs a vertex with its PPR estimate.
-type VertexScore struct {
-	Vertex VertexID
-	Score  float64
-}
+type VertexScore = push.VertexScore
 
 // TopK returns the k vertices with the largest PPR estimates, descending
 // (ties broken by ascending vertex id). The source itself is included.
+// The selection reads the live estimate vector directly — no O(n) copy.
 func (t *Tracker) TopK(k int) []VertexScore {
-	return topKScores(t.st.Estimates(), k)
+	return t.st.AppendTopK(nil, k)
 }
 
 // ExactError computes the exact contribution PPR vector of the current graph

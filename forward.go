@@ -1,7 +1,6 @@
 package dynppr
 
 import (
-	"sort"
 	"time"
 
 	"dynppr/internal/fwd"
@@ -109,24 +108,9 @@ func (t *ForwardTracker) ApplyBatch(b Batch) BatchResult {
 }
 
 // TopK returns the k vertices the source's random walks most often stop at,
-// in descending order of estimate.
+// in descending order of estimate (ties broken by ascending vertex id). The
+// selection reads the live estimate vector directly — no O(n) copy or full
+// sort.
 func (t *ForwardTracker) TopK(k int) []VertexScore {
-	est := t.st.Estimates()
-	if k > len(est) {
-		k = len(est)
-	}
-	if k <= 0 {
-		return nil
-	}
-	scores := make([]VertexScore, len(est))
-	for v, s := range est {
-		scores[v] = VertexScore{Vertex: VertexID(v), Score: s}
-	}
-	sort.Slice(scores, func(i, j int) bool {
-		if scores[i].Score != scores[j].Score {
-			return scores[i].Score > scores[j].Score
-		}
-		return scores[i].Vertex < scores[j].Vertex
-	})
-	return scores[:k]
+	return t.st.AppendTopK(nil, k)
 }

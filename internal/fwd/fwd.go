@@ -122,6 +122,13 @@ func (st *State) Residual(v graph.VertexID) float64 {
 // Estimates returns a copy of the estimate vector.
 func (st *State) Estimates() []float64 { return st.p.Snapshot() }
 
+// AppendTopK appends the k highest-estimate vertices (descending, ties by
+// ascending vertex id) to dst, reading the live estimate vector directly —
+// no O(n) copy. The caller must own the state.
+func (st *State) AppendTopK(dst []push.VertexScore, k int) []push.VertexScore {
+	return push.AppendTopKFunc(dst, st.p.Len(), st.p.Get, k)
+}
+
 // Converged reports whether every residual is within ε.
 func (st *State) Converged() bool { return st.r.MaxAbs() <= st.cfg.Epsilon }
 

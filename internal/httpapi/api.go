@@ -193,6 +193,12 @@ type SourceStats struct {
 	Epoch       uint64          `json:"epoch"`
 	Pushes      int64           `json:"pushes"`
 	MaxResidual float64         `json:"max_residual"`
+	// FullPublishes/DeltaPublishes report how the source's snapshots were
+	// published (full vector copies versus dirty-set deltas); TopKRebuilds
+	// counts full-scan rebuilds of its Top-K index.
+	FullPublishes  uint64 `json:"full_publishes"`
+	DeltaPublishes uint64 `json:"delta_publishes"`
+	TopKRebuilds   uint64 `json:"topk_rebuilds"`
 }
 
 // ServiceStats is the wire form of dynppr.ServiceStats.
@@ -237,11 +243,14 @@ func serviceStats(st dynppr.ServiceStats) ServiceStats {
 	}
 	for _, ss := range st.Sources {
 		out.Sources = append(out.Sources, SourceStats{
-			Source:      ss.Source,
-			Shard:       ss.Shard,
-			Epoch:       ss.Epoch,
-			Pushes:      ss.Pushes,
-			MaxResidual: ss.MaxResidual,
+			Source:         ss.Source,
+			Shard:          ss.Shard,
+			Epoch:          ss.Epoch,
+			Pushes:         ss.Pushes,
+			MaxResidual:    ss.MaxResidual,
+			FullPublishes:  ss.FullPublishes,
+			DeltaPublishes: ss.DeltaPublishes,
+			TopKRebuilds:   ss.TopKRebuilds,
 		})
 	}
 	return out

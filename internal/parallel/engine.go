@@ -14,6 +14,16 @@ import (
 // comment for the schedule.
 type PushEngine struct {
 	m *Machine
+
+	// Cached per-state hot-path pieces: the propagate closure and the dirty
+	// hook are bound to one state's graph and counters, so rebinding (and
+	// re-allocating the closures) only happens when Run is handed a
+	// different state — never on the steady-state batch path, where one
+	// engine instance serves one source. candBuf is the reusable sorted
+	// candidate buffer.
+	boundTo   *push.State
+	propagate PropagateFunc
+	candBuf   []int32
 }
 
 // NewPushEngine returns a deterministic engine with the given degree of
@@ -38,12 +48,27 @@ func (e *PushEngine) Workers() int { return e.m.Workers() }
 
 // Run implements push.Engine.
 func (e *PushEngine) Run(st *push.State, candidates []graph.VertexID) {
-	g := st.Graph()
+	if e.boundTo != st {
+		e.bind(st)
+	}
 	p, r := st.Vectors()
-	alpha := st.Alpha()
+	var cands []int32 // nil requests a full scan
+	if candidates != nil {
+		e.candBuf = SortedCandidatesInto(e.candBuf, candidates, r.Len())
+		cands = e.candBuf
+	}
+	e.m.Converge(p, r, st.Alpha(), st.Epsilon(), cands, st.Counters, e.propagate)
+}
+
+// bind points the cached closures at st: propagation reads st's graph and
+// counters, and the machine's frontier hook feeds st's estimate-dirty set
+// (each round's frontier is exactly the set of estimates the round updates),
+// which is what lets SnapshotSlot.Publish copy only what changed.
+func (e *PushEngine) bind(st *push.State) {
+	g := st.Graph()
 	counters := st.Counters
-	w := 1 - alpha
-	propagate := func(d *Delta, u int32, ru float64) {
+	w := 1 - st.Alpha()
+	e.propagate = func(d *Delta, u int32, ru float64) {
 		in := g.InNeighbors(u)
 		counters.AddPropagations(int64(len(in)))
 		counters.AddRandomAccesses(int64(len(in)))
@@ -52,5 +77,6 @@ func (e *PushEngine) Run(st *push.State, candidates []graph.VertexID) {
 			d.Add(v, share/float64(g.OutDegree(v)))
 		}
 	}
-	e.m.Converge(p, r, alpha, st.Epsilon(), SortedCandidates(candidates, r.Len()), counters, propagate)
+	e.m.SetFrontierHook(st.MarkEstimatesDirty)
+	e.boundTo = st
 }

@@ -104,13 +104,21 @@ type Machine struct {
 	workers int
 	cutover int
 
+	// onFrontier, when set, is invoked once per round from the coordinating
+	// goroutine with the round's frontier — the exact set of vertices whose
+	// estimate the round updates. The serving layer points it at
+	// push.State.MarkEstimatesDirty so delta snapshot publication knows what
+	// changed; the hook must not retain the slice past the call.
+	onFrontier func([]int32)
+
 	stripes [NumStripes]Delta
 	taken   []float64
 	marked  []bool
 	merged  []int32
-	// spare is the frontier buffer not currently in use; Converge
-	// double-buffers the frontier through it.
-	spare []int32
+	// free holds the frontier buffers not currently in use; Converge
+	// double-buffers the frontier through them, so the steady state runs
+	// with two recycled arrays and no allocation.
+	free [][]int32
 }
 
 // NewMachine returns a machine running up to workers goroutines per session
@@ -130,6 +138,27 @@ func (m *Machine) Workers() int { return m.workers }
 
 // Cutover returns the frontier size below which rounds run inline.
 func (m *Machine) Cutover() int { return m.cutover }
+
+// SetFrontierHook installs the per-round frontier callback (nil disables
+// it). The hook never influences results — it only observes the schedule.
+func (m *Machine) SetFrontierHook(fn func([]int32)) { m.onFrontier = fn }
+
+// getBuf pops a recycled frontier buffer (empty, possibly nil on first use).
+func (m *Machine) getBuf() []int32 {
+	if n := len(m.free); n > 0 {
+		b := m.free[n-1]
+		m.free = m.free[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// putBuf returns a frontier buffer to the recycle pool.
+func (m *Machine) putBuf(b []int32) {
+	if cap(b) > 0 {
+		m.free = append(m.free, b[:0])
+	}
+}
 
 // ensure grows the per-vertex buffers to cover n vertices.
 func (m *Machine) ensure(n int) {
@@ -163,15 +192,19 @@ func (m *Machine) convergePhase(p, r *fp.Float64Vector, alpha, eps float64, cand
 	frontier := m.initialFrontier(r, candidates, cond)
 	for len(frontier) > 0 {
 		counters.ObserveIteration(len(frontier))
+		if m.onFrontier != nil {
+			m.onFrontier(frontier)
+		}
 		frontier = m.round(p, r, alpha, frontier, cond, counters, propagate)
 	}
+	m.putBuf(frontier)
 }
 
 // initialFrontier filters the candidates (or all vertices) by the phase
-// condition into the spare frontier buffer. candidates are sorted, so the
+// condition into a recycled frontier buffer. candidates are sorted, so the
 // result is sorted.
 func (m *Machine) initialFrontier(r *fp.Float64Vector, candidates []int32, cond func(float64) bool) []int32 {
-	frontier := m.spare[:0]
+	frontier := m.getBuf()
 	if candidates == nil {
 		n := r.Len()
 		for v := 0; v < n; v++ {
@@ -186,7 +219,6 @@ func (m *Machine) initialFrontier(r *fp.Float64Vector, candidates []int32, cond 
 			}
 		}
 	}
-	m.spare = nil
 	return frontier
 }
 
@@ -263,7 +295,7 @@ func (m *Machine) round(p, r *fp.Float64Vector, alpha float64, frontier []int32,
 	// was collected in stripe-then-first-touch order, which depends only on
 	// the round's inputs, so the next frontier needs no sorting to be
 	// deterministic.
-	next := m.spare[:0]
+	next := m.getBuf()
 	for _, v := range merged {
 		m.marked[v] = false
 		if cond(r.Get(int(v))) {
@@ -276,7 +308,7 @@ func (m *Machine) round(p, r *fp.Float64Vector, alpha float64, frontier []int32,
 	counters.AddEnqueues(int64(len(next)))
 
 	m.merged = merged[:0]
-	m.spare = frontier[:0]
+	m.putBuf(frontier)
 	return next
 }
 
@@ -287,12 +319,30 @@ func SortedCandidates(candidates []int32, n int) []int32 {
 	if candidates == nil {
 		return nil
 	}
-	out := make([]int32, 0, len(candidates))
+	return SortedCandidatesInto(nil, candidates, n)
+}
+
+// emptyCandidates keeps an empty (but non-nil) candidate list distinct from
+// the nil "full scan" request when the reusable buffer has no storage yet.
+var emptyCandidates = make([]int32, 0)
+
+// SortedCandidatesInto is SortedCandidates into a reusable buffer, for
+// callers on the steady-state batch path that must not allocate. A nil
+// candidate list returns nil (full scan) regardless of dst.
+func SortedCandidatesInto(dst, candidates []int32, n int) []int32 {
+	if candidates == nil {
+		return nil
+	}
+	out := dst[:0]
 	for _, v := range candidates {
 		if v >= 0 && int(v) < n {
 			out = append(out, v)
 		}
 	}
 	slices.Sort(out)
-	return slices.Compact(out)
+	out = slices.Compact(out)
+	if out == nil {
+		out = emptyCandidates
+	}
+	return out
 }

@@ -101,6 +101,9 @@ func (e *Parallel) runPhase(st *State, candidates []graph.VertexID, ph phase) {
 	}
 	for len(frontier) > 0 {
 		st.Counters.ObserveIteration(len(frontier))
+		// Every frontier vertex's estimate gains its α share this round;
+		// record that for delta snapshot publication before fanning out.
+		st.MarkEstimatesDirty(frontier)
 		if e.variant.EagerPropagation {
 			frontier = e.iterateEager(st, frontier, ph, seen, inFrontier)
 		} else {

@@ -34,16 +34,21 @@ func RestoreState(g *graph.Graph, source graph.VertexID, cfg Config, estimates, 
 	}
 	n := len(estimates)
 	st := &State{
-		g:        g,
-		source:   source,
-		cfg:      cfg,
-		p:        fp.NewFloat64Vector(n),
-		r:        fp.NewFloat64Vector(n),
-		Counters: &metrics.Counters{},
+		g:           g,
+		source:      source,
+		cfg:         cfg,
+		p:           fp.NewFloat64Vector(n),
+		r:           fp.NewFloat64Vector(n),
+		dirtyMarked: make([]bool, n),
+		Counters:    &metrics.Counters{},
 	}
 	for i := 0; i < n; i++ {
 		st.p.Set(i, estimates[i])
 		st.r.Set(i, residuals[i])
 	}
+	// A restored vector has no publication history: poison the dirty set so
+	// the recovery reseed's first publication full-copies and the Top-K
+	// index rebuilds, instead of trusting deltas tracked in another life.
+	st.MarkAllEstimatesDirty()
 	return st, nil
 }

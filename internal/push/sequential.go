@@ -7,7 +7,11 @@ import "dynppr/internal/graph"
 // a time from a FIFO work queue; each push moves the α share of the residual
 // into the estimate and propagates the remaining (1−α) share to the
 // in-neighbors, scaled by their out-degrees.
-type Sequential struct{}
+type Sequential struct {
+	// inQueue is reusable membership scratch for the FIFO queue, so the
+	// steady-state batch path allocates nothing.
+	inQueue []bool
+}
 
 // NewSequential returns the sequential push engine.
 func NewSequential() *Sequential { return &Sequential{} }
@@ -29,7 +33,10 @@ func (e *Sequential) runPhase(st *State, candidates []graph.VertexID, ph phase) 
 	if len(queue) == 0 {
 		return
 	}
-	inQueue := make([]bool, st.r.Len())
+	if n := st.r.Len(); len(e.inQueue) < n {
+		e.inQueue = append(e.inQueue, make([]bool, n-len(e.inQueue))...)
+	}
+	inQueue := e.inQueue
 	for _, v := range queue {
 		inQueue[v] = true
 	}
@@ -47,6 +54,7 @@ func (e *Sequential) runPhase(st *State, candidates []graph.VertexID, ph phase) 
 		// Self-update: move the α share into the estimate, clear the residual.
 		st.p.Set(int(u), st.p.Get(int(u))+alpha*ru)
 		st.r.Set(int(u), 0)
+		st.markEstimateDirty(u)
 		// Neighbor propagation: each in-neighbor v of u receives
 		// (1−α)·ru/dout(v).
 		in := g.InNeighbors(graph.VertexID(u))

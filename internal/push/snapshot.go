@@ -23,6 +23,13 @@ type Snapshot struct {
 	maxResidual float64
 	epsilon     float64
 
+	// top is the exact Top-K ranking of estimates (descending, ties by
+	// ascending vertex id), copied from the slot's incrementally maintained
+	// index at publication; nil when the slot's index is disabled. Its
+	// length is min(index capacity, NumVertices), so any TopK read with
+	// k ≤ len(top) is served in O(k) without scanning the vector.
+	top []VertexScore
+
 	// readers counts in-flight readers of this snapshot; the publisher
 	// spin-waits for it to drain before recycling the buffer.
 	readers atomic.Int64
@@ -35,8 +42,13 @@ func (s *Snapshot) Source() graph.VertexID { return s.source }
 // publication, incremented by one on every subsequent publish).
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
-// MaxResidual returns the L∞ residual norm measured when the snapshot was
-// published. A correctly published snapshot has MaxResidual ≤ Epsilon.
+// MaxResidual returns the snapshot's convergence certificate: the exact L∞
+// residual norm when the snapshot was published by a full copy, and a
+// running bound (previous certificate joined with the refreshed vertices'
+// residuals) on delta publications — so certifying convergence never costs
+// an O(n) scan on the sparse path. Either way a correctly published snapshot
+// has MaxResidual ≤ Epsilon, because the engine drives every residual within
+// ε before publication.
 func (s *Snapshot) MaxResidual() float64 { return s.maxResidual }
 
 // Epsilon returns the error threshold the snapshot was converged to.
@@ -66,6 +78,32 @@ func (s *Snapshot) Estimates() []float64 {
 // caller must treat it as read-only and must not retain it past Release.
 func (s *Snapshot) RawEstimates() []float64 { return s.estimates }
 
+// TopIndexLen returns the length of the embedded exact Top-K ranking (0 when
+// the slot publishes without an index). Reads with k ≤ TopIndexLen() are
+// O(k); larger k falls back to a heap scan of the vector.
+func (s *Snapshot) TopIndexLen() int { return len(s.top) }
+
+// AppendTopK appends the snapshot's k highest-estimate vertices to dst
+// (descending, ties broken by ascending vertex id) and returns the extended
+// slice. When the embedded index covers k the read is an O(k) copy;
+// otherwise it falls back to the O(n log k) heap scan. The result is a copy
+// and stays valid after Release.
+func (s *Snapshot) AppendTopK(dst []VertexScore, k int) []VertexScore {
+	if k > len(s.estimates) {
+		k = len(s.estimates)
+	}
+	if k <= 0 {
+		return dst
+	}
+	if k <= len(s.top) {
+		return append(dst, s.top[:k]...)
+	}
+	return AppendTopK(dst, s.estimates, k)
+}
+
+// TopK is AppendTopK into a fresh slice.
+func (s *Snapshot) TopK(k int) []VertexScore { return s.AppendTopK(nil, k) }
+
 // Release ends a read begun by SnapshotSlot.Acquire. Every Acquire must be
 // paired with exactly one Release; the snapshot must not be read afterwards.
 func (s *Snapshot) Release() { s.readers.Add(-1) }
@@ -87,12 +125,81 @@ type SnapshotSlot struct {
 	// not currently published). Only the publishing goroutine touches it.
 	next  int
 	epoch uint64
+
+	// Delta-publication state (write side only). prev holds the dirty set
+	// drained by the previous Publish and prevAll whether it was poisoned:
+	// because the two buffers alternate, the spare buffer was last written
+	// two publications ago, so bringing it current requires refreshing the
+	// union of the previous and the current dirty sets. drain is the
+	// recycled buffer handed to State.DrainDirty.
+	drain   []int32
+	prev    []int32
+	prevAll bool
+
+	// resBound is the running convergence certificate: exact on full
+	// publications (an O(n) scan), and on delta publications the maximum of
+	// the previous bound and the refreshed vertices' residuals. The engine's
+	// convergence contract independently guarantees every residual ≤ ε at
+	// publication, so the bound stays ≤ ε; it is not recomputed from scratch
+	// per publish precisely so publication cost scales with the dirty set.
+	resBound float64
+
+	// index is the write-side master of the incrementally maintained Top-K
+	// ranking; disabled when topCap == 0.
+	topCap int
+	index  topIndex
+
+	// Publication-path statistics (atomic: Stats readers race Publish).
+	fullPublishes  atomic.Uint64
+	deltaPublishes atomic.Uint64
 }
 
-// NewSnapshotSlot returns an empty slot; Acquire returns nil until the first
-// Publish.
-func NewSnapshotSlot() *SnapshotSlot {
-	return &SnapshotSlot{bufs: [2]*Snapshot{{}, {}}}
+// DefaultTopKCap is the Top-K index capacity NewSnapshotSlot selects: deep
+// enough for any realistic ranking request, shallow enough that the
+// per-publication index copy stays trivial next to the push itself.
+const DefaultTopKCap = 128
+
+// NewSnapshotSlot returns an empty slot with a Top-K index of DefaultTopKCap
+// entries; Acquire returns nil until the first Publish.
+func NewSnapshotSlot() *SnapshotSlot { return NewSnapshotSlotTopK(DefaultTopKCap) }
+
+// NewSnapshotSlotTopK returns an empty slot whose published snapshots embed
+// an exact Top-K ranking of up to cap entries. cap <= 0 disables the index:
+// snapshots then serve TopK by scanning the vector, and publication skips
+// the index maintenance.
+func NewSnapshotSlotTopK(cap int) *SnapshotSlot {
+	sl := &SnapshotSlot{bufs: [2]*Snapshot{{}, {}}}
+	if cap > 0 {
+		sl.topCap = cap
+		sl.index.cap = cap
+	}
+	return sl
+}
+
+// TopKCap returns the slot's Top-K index capacity (0 when disabled).
+func (sl *SnapshotSlot) TopKCap() int { return sl.topCap }
+
+// PublishStats reports how the slot's publications were performed.
+type PublishStats struct {
+	// Full counts publications that recopied the whole estimate vector
+	// (cold start, recovery reseed, graph growth, poisoned dirty set, or a
+	// dirty set too large for the delta path to win).
+	Full uint64
+	// Delta counts publications that copied only the dirty union.
+	Delta uint64
+	// TopKRebuilds counts full-scan rebuilds of the Top-K index.
+	TopKRebuilds uint64
+}
+
+// Stats returns the slot's publication statistics. Safe to call concurrently
+// with Publish (counters are atomic; the rebuild count is read from the
+// write side and may lag by one publication).
+func (sl *SnapshotSlot) Stats() PublishStats {
+	return PublishStats{
+		Full:         sl.fullPublishes.Load(),
+		Delta:        sl.deltaPublishes.Load(),
+		TopKRebuilds: sl.index.rebuilds.Load(),
+	}
 }
 
 // SeedEpoch primes the publication counter so the next Publish carries epoch
@@ -103,10 +210,21 @@ func NewSnapshotSlot() *SnapshotSlot {
 // be called before the first Publish, from the slot's write side.
 func (sl *SnapshotSlot) SeedEpoch(e uint64) { sl.epoch = e }
 
-// Publish copies the state's estimate vector into the spare buffer, records
-// the residual norm, and atomically swaps the buffer in as the current
-// snapshot. It must only be called after the engine has converged st, and
-// only from the single goroutine that owns the slot's write side.
+// Publish brings the spare buffer up to date with the state's estimate
+// vector, refreshes the Top-K index, and atomically swaps the buffer in as
+// the current snapshot. It must only be called after the engine has
+// converged st, and only from the single goroutine that owns the slot's
+// write side.
+//
+// Publication is sparse: the state's estimate-dirty set (maintained by the
+// engines) names every vertex whose estimate changed since the previous
+// drain, so the spare buffer — last written two publications ago — is
+// brought current by copying only the union of the previous and current
+// dirty sets. The result is bit-identical to a full copy. A full copy is
+// performed instead when the dirty set is poisoned (MarkAllEstimatesDirty,
+// recovery reseed), when the vector grew (new vertices), when the buffer
+// has never been filled, or when the union is so large that the dense copy
+// is cheaper.
 //
 // Recycling the spare buffer waits for stragglers: a reader that acquired
 // the buffer during its previous publication may still be reading it, so
@@ -118,10 +236,51 @@ func (sl *SnapshotSlot) Publish(st *State) *Snapshot {
 	for spare.readers.Load() != 0 {
 		runtime.Gosched()
 	}
+	n := st.NumVertices()
+	dirty, all := st.DrainDirty(sl.drain[:0])
+	sl.drain = dirty
+
+	// The spare is delta-patchable only if it was filled to the current
+	// length (never-filled and pre-growth buffers miss entries no dirty set
+	// covers) and neither of the two dirty sets it must absorb is poisoned.
+	// Beyond half the vector a dense copy is cheaper than scattered stores.
+	full := all || sl.prevAll || len(spare.estimates) != n ||
+		len(dirty)+len(sl.prev) > n/2
 	spare.source = st.Source()
-	spare.estimates = st.FillEstimates(spare.estimates)
-	spare.maxResidual = st.MaxResidual()
+	if full {
+		spare.estimates = st.FillEstimates(spare.estimates)
+		sl.resBound = st.MaxResidual()
+		sl.fullPublishes.Add(1)
+	} else {
+		est := spare.estimates
+		for _, v := range dirty {
+			est[v] = st.p.Get(int(v))
+		}
+		for _, v := range sl.prev {
+			est[v] = st.p.Get(int(v))
+		}
+		for _, v := range dirty {
+			if r := st.r.Get(int(v)); r > sl.resBound {
+				sl.resBound = r
+			} else if -r > sl.resBound {
+				sl.resBound = -r
+			}
+		}
+		sl.deltaPublishes.Add(1)
+	}
+	spare.maxResidual = sl.resBound
 	spare.epsilon = st.Epsilon()
+
+	if sl.topCap > 0 {
+		sl.index.apply(st, dirty, all)
+		spare.top = append(spare.top[:0], sl.index.entries...)
+	}
+
+	// Rotate the dirty buffers: the set drained now is what the *other*
+	// buffer must absorb on the next publication.
+	sl.drain, sl.prev = sl.prev[:0], dirty
+	sl.prevAll = all
+
 	sl.epoch++
 	spare.epoch = sl.epoch
 	sl.cur.Store(spare)

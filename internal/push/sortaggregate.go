@@ -55,6 +55,9 @@ func (e *SortAggregate) runPhase(st *State, candidates []graph.VertexID, ph phas
 	frontier := st.activeFrom(candidates, ph)
 	for len(frontier) > 0 {
 		st.Counters.ObserveIteration(len(frontier))
+		// The self-update session changes every frontier vertex's estimate;
+		// record that for delta snapshot publication before fanning out.
+		st.MarkEstimatesDirty(frontier)
 		frontier = e.iterate(st, frontier, ph)
 	}
 }

@@ -62,6 +62,22 @@ type State struct {
 	p *fp.Float64Vector
 	r *fp.Float64Vector
 
+	// Estimate-dirty tracking: the set of vertices whose estimate changed
+	// since the last DrainDirty. Engines mark the vertices they push (the
+	// only writers of P); SnapshotSlot.Publish drains the set to copy and
+	// index only what changed. dirtyAll poisons the set ("assume everything
+	// changed") for engines that cannot track cheaply and for restored
+	// states. All three fields are owned by the goroutine driving the engine.
+	dirtyMarked []bool
+	dirtyList   []int32
+	dirtyAll    bool
+
+	// activeBuf and activeSeen are reusable scratch for activeFrom, so the
+	// per-batch frontier seeding of the engines allocates nothing once the
+	// buffers have grown to their steady-state size.
+	activeBuf  []int32
+	activeSeen []bool
+
 	// Counters accumulates the work performed by invariant restoration and by
 	// the engines running over this state. Never nil.
 	Counters *metrics.Counters
@@ -79,12 +95,13 @@ func NewState(g *graph.Graph, source graph.VertexID, cfg Config) (*State, error)
 	g.EnsureVertex(source)
 	n := g.NumVertices()
 	st := &State{
-		g:        g,
-		source:   source,
-		cfg:      cfg,
-		p:        fp.NewFloat64Vector(n),
-		r:        fp.NewFloat64Vector(n),
-		Counters: &metrics.Counters{},
+		g:           g,
+		source:      source,
+		cfg:         cfg,
+		p:           fp.NewFloat64Vector(n),
+		r:           fp.NewFloat64Vector(n),
+		dirtyMarked: make([]bool, n),
+		Counters:    &metrics.Counters{},
 	}
 	st.r.Set(int(source), 1)
 	return st, nil
@@ -160,6 +177,76 @@ func (st *State) sync() {
 		st.p.Resize(n)
 		st.r.Resize(n)
 	}
+	if n > len(st.dirtyMarked) {
+		st.dirtyMarked = append(st.dirtyMarked, make([]bool, n-len(st.dirtyMarked))...)
+	}
+}
+
+// markEstimateDirty records that P(v) changed since the last drain. Callers
+// must own the state (engine coordinator or pipeline goroutine).
+func (st *State) markEstimateDirty(v int32) {
+	if st.dirtyAll {
+		return
+	}
+	if !st.dirtyMarked[v] {
+		st.dirtyMarked[v] = true
+		st.dirtyList = append(st.dirtyList, v)
+	}
+}
+
+// MarkEstimatesDirty records that the estimates of vs changed since the last
+// drain. Engines call it with each round's frontier (the exact set of
+// vertices whose estimate a round updates) from the coordinating goroutine.
+func (st *State) MarkEstimatesDirty(vs []int32) {
+	if st.dirtyAll {
+		return
+	}
+	for _, v := range vs {
+		if !st.dirtyMarked[v] {
+			st.dirtyMarked[v] = true
+			st.dirtyList = append(st.dirtyList, v)
+		}
+	}
+}
+
+// MarkAllEstimatesDirty poisons the dirty set: the next drain reports that
+// any estimate may have changed, forcing full-copy publication and a Top-K
+// rebuild. It exists for engines that update estimates concurrently without
+// a frontier hook (the vertex-centric baseline) and for restored states.
+func (st *State) MarkAllEstimatesDirty() { st.dirtyAll = true }
+
+// DrainDirty appends the dirty vertices to dst, resets the tracking, and
+// reports whether the set was poisoned (all == true means "assume every
+// estimate changed" and the appended list is empty). The single consumer is
+// SnapshotSlot.Publish, which passes a recycled buffer so steady-state
+// drains allocate nothing.
+func (st *State) DrainDirty(dst []int32) (dirty []int32, all bool) {
+	all = st.dirtyAll
+	if !all {
+		dst = append(dst, st.dirtyList...)
+	}
+	for _, v := range st.dirtyList {
+		st.dirtyMarked[v] = false
+	}
+	st.dirtyList = st.dirtyList[:0]
+	st.dirtyAll = false
+	return dst, all
+}
+
+// DirtyCount returns the current size of the estimate-dirty set (n when
+// poisoned). Exposed for tests and stats.
+func (st *State) DirtyCount() int {
+	if st.dirtyAll {
+		return st.p.Len()
+	}
+	return len(st.dirtyList)
+}
+
+// AppendTopK appends the k highest-estimate vertices (descending, ties by
+// ascending vertex id) to dst, reading the live estimate vector directly —
+// no O(n) copy. The caller must own the state (not be racing an engine).
+func (st *State) AppendTopK(dst []VertexScore, k int) []VertexScore {
+	return AppendTopKFunc(dst, st.p.Len(), st.p.Get, k)
 }
 
 // ApplyInsert adds edge u->v to the graph and restores the invariant
@@ -265,9 +352,13 @@ func (st *State) Converged() bool { return st.r.MaxAbs() <= st.cfg.Epsilon }
 // activeFrom filters the candidate vertices down to those whose residual
 // currently satisfies the push condition of the given phase. A nil candidate
 // list means "scan every vertex". Duplicate candidates are removed.
+//
+// The returned slice is backed by reusable per-state scratch: it is valid
+// until the next activeFrom call, and callers may append to it freely (a
+// growth simply re-anchors the scratch on the next call).
 func (st *State) activeFrom(candidates []graph.VertexID, phase phase) []int32 {
 	eps := st.cfg.Epsilon
-	var out []int32
+	out := st.activeBuf[:0]
 	if candidates == nil {
 		n := st.r.Len()
 		for v := 0; v < n; v++ {
@@ -275,21 +366,30 @@ func (st *State) activeFrom(candidates []graph.VertexID, phase phase) []int32 {
 				out = append(out, int32(v))
 			}
 		}
+		st.activeBuf = out
 		return out
 	}
-	seen := make(map[graph.VertexID]struct{}, len(candidates))
+	if len(st.activeSeen) < st.r.Len() {
+		st.activeSeen = append(st.activeSeen, make([]bool, st.r.Len()-len(st.activeSeen))...)
+	}
 	for _, v := range candidates {
 		if int(v) >= st.r.Len() || v < 0 {
 			continue
 		}
-		if _, dup := seen[v]; dup {
+		if st.activeSeen[v] {
 			continue
 		}
-		seen[v] = struct{}{}
+		st.activeSeen[v] = true
 		if phase.cond(st.r.Get(int(v)), eps) {
 			out = append(out, int32(v))
 		}
 	}
+	for _, v := range candidates {
+		if int(v) < len(st.activeSeen) && v >= 0 {
+			st.activeSeen[v] = false
+		}
+	}
+	st.activeBuf = out
 	return out
 }
 

@@ -33,6 +33,11 @@ func (e *PPREngine) Name() string { return fmt.Sprintf("ligra-w%d", e.workers) }
 
 // Run implements push.Engine.
 func (e *PPREngine) Run(st *push.State, candidates []graph.VertexID) {
+	// The framework applies self-updates inside concurrent supersteps with
+	// no per-round frontier hook, so this baseline cannot track estimate
+	// dirtiness cheaply; poison the set so snapshot publication falls back
+	// to a full copy instead of trusting an incomplete delta.
+	st.MarkAllEstimatesDirty()
 	e.runPhase(st, candidates, +1)
 	e.runPhase(st, candidates, -1)
 }

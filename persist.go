@@ -317,6 +317,10 @@ func NewPersistentService(g *Graph, sources []VertexID, so ServiceOptions, po Pe
 // scheme parameters (α, ε) are restored from the checkpoint; engine and
 // pool options come from so. Snapshot epochs resume exactly where the
 // recovered state left them, so they never regress across a restart.
+// Restored states carry a poisoned estimate-dirty set (see
+// push.RestoreState), so the reseed's first publications are full copies
+// and rebuild each source's Top-K index from scratch — delta history from
+// the previous process is never trusted.
 func NewServiceFromRecovery(so ServiceOptions, po PersistOptions) (*Service, error) {
 	data, err := ckpt.LoadFile(checkpointPath(po.Dir))
 	if err != nil {

@@ -69,6 +69,10 @@ type Service struct {
 	shards   [][]*serviceSource
 	shardCh  []chan shardJob
 	workerWG sync.WaitGroup
+	// statesBuf and touchedBuf are per-batch scratch recycled across
+	// batches, so the steady-state write path does not allocate them anew.
+	statesBuf  []*push.State
+	touchedBuf []graph.VertexID
 
 	// persist is the optional durability layer (WAL + checkpoints); nil for
 	// an in-memory service. The pointer is swapped in once during
@@ -117,6 +121,25 @@ type ServiceOptions struct {
 	// QueueDepth is the capacity of the write pipeline; further mutating
 	// calls block (backpressure). <= 0 selects 64.
 	QueueDepth int
+	// TopKCap is the per-source Top-K index depth: TopK reads with
+	// k <= TopKCap are O(k) against the incrementally maintained index
+	// embedded in each snapshot; larger k falls back to a heap scan of the
+	// vector. 0 selects push.DefaultTopKCap (128); negative disables the
+	// index entirely (every TopK scans).
+	TopKCap int
+}
+
+// topKCap resolves the TopKCap option to the slot constructor's convention
+// (0 = disabled).
+func (so ServiceOptions) topKCap() int {
+	switch {
+	case so.TopKCap < 0:
+		return 0
+	case so.TopKCap == 0:
+		return push.DefaultTopKCap
+	default:
+		return so.TopKCap
+	}
 }
 
 // Options returns the options the service runs with. For a service built by
@@ -219,7 +242,7 @@ func newService(g *Graph, so ServiceOptions, cold []VertexID, recovered []seedSo
 			shard:  i % so.PoolWorkers,
 			st:     st,
 			engine: engine,
-			slot:   push.NewSnapshotSlot(),
+			slot:   push.NewSnapshotSlotTopK(so.topKCap()),
 		}
 		if recovered != nil {
 			if recovered[i].epoch == 0 {
@@ -344,16 +367,17 @@ func (s *Service) ApplyBatch(b Batch) (BatchResult, error) {
 
 func (s *Service) doBatch(b Batch) BatchResult {
 	start := time.Now()
-	sources := s.allSources()
 	var before int64
-	for _, src := range sources {
-		before += src.st.Counters.Snapshot().Pushes
+	states := s.statesBuf[:0]
+	for _, shard := range s.shards {
+		for _, src := range shard {
+			before += src.st.Counters.Snapshot().Pushes
+			states = append(states, src.st)
+		}
 	}
-	states := make([]*push.State, len(sources))
-	for i, src := range sources {
-		states[i] = src.st
-	}
-	applied, touched := applyBatchNotify(s.g, states, b)
+	s.statesBuf = states
+	applied, touched := applyBatchNotify(s.g, states, b, s.touchedBuf[:0])
+	s.touchedBuf = touched
 	if applied > 0 {
 		var wg sync.WaitGroup
 		for i, shard := range s.shards {
@@ -366,8 +390,10 @@ func (s *Service) doBatch(b Batch) BatchResult {
 		wg.Wait()
 	}
 	var after int64
-	for _, src := range sources {
-		after += src.st.Counters.Snapshot().Pushes
+	for _, shard := range s.shards {
+		for _, src := range shard {
+			after += src.st.Counters.Snapshot().Pushes
+		}
 	}
 	latency := time.Since(start)
 	s.batches.Add(1)
@@ -450,7 +476,7 @@ func (s *Service) doAddSource(source VertexID) error {
 			shard = i
 		}
 	}
-	src := &serviceSource{source: source, shard: shard, st: st, engine: engine, slot: push.NewSnapshotSlot()}
+	src := &serviceSource{source: source, shard: shard, st: st, engine: engine, slot: push.NewSnapshotSlotTopK(s.opts.topKCap())}
 	src.engine.Run(src.st, []graph.VertexID{source})
 	src.slot.Publish(src.st)
 	s.shards[shard] = append(s.shards[shard], src)
@@ -619,16 +645,25 @@ func (s *Service) TopK(source VertexID, k int) ([]VertexScore, error) {
 // from, so remote callers (the HTTP front end) can verify convergence and
 // epoch monotonicity of what they were served.
 func (s *Service) TopKInfo(source VertexID, k int) ([]VertexScore, SnapshotInfo, error) {
+	return s.AppendTopK(nil, source, k)
+}
+
+// AppendTopK is TopKInfo appending into a caller-provided buffer, so hot
+// readers that recycle their result slices perform no allocations. When k is
+// within the snapshot's embedded Top-K index (ServiceOptions.TopKCap, kept
+// exact incrementally at publish time) the read is an O(k) copy; larger k
+// falls back to the O(n log k) heap scan of the vector.
+func (s *Service) AppendTopK(dst []VertexScore, source VertexID, k int) ([]VertexScore, SnapshotInfo, error) {
 	src, err := s.lookup(source)
 	if err != nil {
-		return nil, SnapshotInfo{}, err
+		return dst, SnapshotInfo{}, err
 	}
 	snap := src.slot.Acquire()
 	if snap == nil {
-		return nil, SnapshotInfo{}, fmt.Errorf("%w: %d", ErrUnknownSource, source)
+		return dst, SnapshotInfo{}, fmt.Errorf("%w: %d", ErrUnknownSource, source)
 	}
 	defer snap.Release()
-	return topKScores(snap.RawEstimates(), k), snapshotInfo(snap), nil
+	return snap.AppendTopK(dst, k), snapshotInfo(snap), nil
 }
 
 // EstimateInfo is Estimate plus the metadata of the snapshot the value was
@@ -667,8 +702,17 @@ type SourceStats struct {
 	// Pushes is the cumulative number of push operations performed for this
 	// source (cold start included).
 	Pushes int64
-	// MaxResidual is the residual norm of the current snapshot.
+	// MaxResidual is the convergence certificate of the current snapshot
+	// (exact on full publications, a running bound on delta publications;
+	// always ≤ ε).
 	MaxResidual float64
+	// FullPublishes and DeltaPublishes count how the source's snapshots
+	// were published: full vector copies versus dirty-set deltas.
+	FullPublishes  uint64
+	DeltaPublishes uint64
+	// TopKRebuilds counts full-scan rebuilds of the source's Top-K index
+	// (cold start, graph growth, threshold invalidation by decays).
+	TopKRebuilds uint64
 }
 
 // ServiceStats reports aggregate serving statistics.
@@ -724,10 +768,14 @@ func (s *Service) Stats() ServiceStats {
 		Persistence:       s.persistenceStats(),
 	}
 	for _, src := range table {
+		ps := src.slot.Stats()
 		ss := SourceStats{
-			Source: src.source,
-			Shard:  src.shard,
-			Pushes: src.st.Counters.Snapshot().Pushes,
+			Source:         src.source,
+			Shard:          src.shard,
+			Pushes:         src.st.Counters.Snapshot().Pushes,
+			FullPublishes:  ps.Full,
+			DeltaPublishes: ps.Delta,
+			TopKRebuilds:   ps.TopKRebuilds,
 		}
 		if snap := src.slot.Acquire(); snap != nil {
 			ss.Epoch = snap.Epoch()
@@ -740,66 +788,4 @@ func (s *Service) Stats() ServiceStats {
 		return stats.Sources[i].Source < stats.Sources[j].Source
 	})
 	return stats
-}
-
-// topKScores ranks the estimate vector and returns the k largest entries,
-// descending, ties broken by ascending vertex id. Shared by Tracker.TopK and
-// Service.TopK. TopK is a hot read path of the serving layer, so instead of
-// sorting all n vertices it keeps a size-k min-heap of the best entries seen
-// (O(n log k)) and only sorts those k at the end.
-func topKScores(est []float64, k int) []VertexScore {
-	if k > len(est) {
-		k = len(est)
-	}
-	if k <= 0 {
-		return nil
-	}
-	// worse reports whether a ranks strictly below b in the result order.
-	worse := func(a, b VertexScore) bool {
-		if a.Score != b.Score {
-			return a.Score < b.Score
-		}
-		return a.Vertex > b.Vertex
-	}
-	// heap[0] is the worst of the current top k.
-	heap := make([]VertexScore, 0, k)
-	siftDown := func(i int) {
-		for {
-			left := 2*i + 1
-			if left >= len(heap) {
-				return
-			}
-			child := left
-			if right := left + 1; right < len(heap) && worse(heap[right], heap[left]) {
-				child = right
-			}
-			if !worse(heap[child], heap[i]) {
-				return
-			}
-			heap[i], heap[child] = heap[child], heap[i]
-			i = child
-		}
-	}
-	for v, score := range est {
-		entry := VertexScore{Vertex: VertexID(v), Score: score}
-		if len(heap) < k {
-			heap = append(heap, entry)
-			for i := len(heap) - 1; i > 0; {
-				parent := (i - 1) / 2
-				if !worse(heap[i], heap[parent]) {
-					break
-				}
-				heap[i], heap[parent] = heap[parent], heap[i]
-				i = parent
-			}
-			continue
-		}
-		if worse(entry, heap[0]) {
-			continue
-		}
-		heap[0] = entry
-		siftDown(0)
-	}
-	sort.Slice(heap, func(i, j int) bool { return worse(heap[j], heap[i]) })
-	return heap
 }

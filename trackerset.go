@@ -34,6 +34,8 @@ type TrackerSet struct {
 	engines []push.Engine
 	// setWorkers bounds how many sources are pushed concurrently.
 	setWorkers int
+	// touchedBuf is per-batch scratch recycled across ApplyBatch calls.
+	touchedBuf []graph.VertexID
 }
 
 // validateSources rejects empty and duplicate source lists. Shared by
@@ -55,10 +57,17 @@ func validateSources(sources []VertexID) error {
 // applyBatchNotify applies b to g one update at a time and notifies every
 // state after each effective mutation, so the invariant restore reads the
 // out-degree of the intermediate graph exactly as Algorithm 1 requires. It
-// returns the number of effective updates and their source endpoints.
-// Shared by TrackerSet.ApplyBatch and the Service write pipeline.
-func applyBatchNotify(g *Graph, states []*push.State, b Batch) (applied int, touched []graph.VertexID) {
-	touched = make([]graph.VertexID, 0, len(b))
+// returns the number of effective updates and their source endpoints,
+// appended to dst (callers on the steady-state write path pass a recycled
+// buffer so the per-batch touched list allocates nothing). Shared by
+// TrackerSet.ApplyBatch and the Service write pipeline.
+func applyBatchNotify(g *Graph, states []*push.State, b Batch, dst []graph.VertexID) (applied int, touched []graph.VertexID) {
+	touched = dst
+	if touched == nil {
+		// Keep "no effective updates" distinct from the engines' nil
+		// "full scan" request.
+		touched = make([]graph.VertexID, 0, len(b))
+	}
 	for _, u := range b {
 		switch u.Op {
 		case Insert:
@@ -143,7 +152,8 @@ func (ts *TrackerSet) Estimate(source, v VertexID) (float64, error) {
 // invariant of every tracked source, and pushes each source to convergence.
 func (ts *TrackerSet) ApplyBatch(b Batch) BatchResult {
 	start := time.Now()
-	applied, touched := applyBatchNotify(ts.g, ts.states, b)
+	applied, touched := applyBatchNotify(ts.g, ts.states, b, ts.touchedBuf[:0])
+	ts.touchedBuf = touched
 	var pushes int64
 	fp.For(len(ts.states), ts.setWorkers, func(i int) {
 		ts.engines[i].Run(ts.states[i], touched)
