@@ -62,6 +62,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		dataDir  = fs.String("data-dir", "", "data directory for the WAL and checkpoints (empty = in-memory only)")
 		fsync    = fs.String("fsync", "always", "WAL fsync policy: always (durable) or none (OS-buffered)")
 		ckptEvr  = fs.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = only on demand and at shutdown)")
+
+		queue      = fs.Int("queue", 0, "write pipeline queue depth; writes shed with 429 when it stays full (0 = default 64)")
+		admitTO    = fs.Duration("admission-timeout", 0, "max wait for a pipeline slot before a write sheds with 429 (0 = half the write timeout)")
+		rateLimit  = fs.Float64("rate-limit", 0, "per-client request rate limit in req/s across data-plane endpoints (0 = unlimited)")
+		rateBurst  = fs.Int("rate-burst", 16, "per-client token-bucket burst size")
+		noCoalesce = fs.Bool("no-coalesce", false, "disable coalescing of identical concurrent /topk reads")
+		noMetrics  = fs.Bool("no-metrics", false, "disable the GET /metrics Prometheus endpoint")
+		pprofOn    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (expose only on trusted networks)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +80,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	so.Options.Workers = *workers
 	so.Options.Parallelism = *par
 	so.PoolWorkers = *pool
+	so.QueueDepth = *queue
 	var err error
 	if so.Options.Engine, err = dynppr.ParseEngineKind(*engine); err != nil {
 		return err
@@ -129,10 +138,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(out, "durable: data-dir=%s fsync=%s checkpoint-every=%v\n", *dataDir, po.Sync, *ckptEvr)
 	}
 
-	srv := httpapi.NewServer(svc, httpapi.ServerOptions{Addr: *addr})
+	srv := httpapi.NewServer(svc, httpapi.ServerOptions{
+		Addr: *addr,
+		Handler: httpapi.HandlerOptions{
+			RateLimit:        *rateLimit,
+			RateBurst:        *rateBurst,
+			AdmissionTimeout: *admitTO,
+			DisableCoalesce:  *noCoalesce,
+			DisableMetrics:   *noMetrics,
+			EnablePprof:      *pprofOn,
+		},
+	})
 	if err := srv.Start(); err != nil {
 		return err
 	}
+	q := svc.Queue()
+	fmt.Fprintf(out, "admission: queue=%d rate-limit=%g rate-burst=%d coalesce=%t metrics=%t pprof=%t\n",
+		q.Cap, *rateLimit, *rateBurst, !*noCoalesce, !*noMetrics, *pprofOn)
 	fmt.Fprintf(out, "listening on %s\n", srv.URL())
 
 	// Periodic checkpointing bounds how much WAL a crash would replay.

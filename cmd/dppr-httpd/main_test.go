@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -10,6 +11,7 @@ import (
 
 	"dynppr"
 	"dynppr/internal/httpapi"
+	"dynppr/internal/promexp"
 )
 
 // syncBuffer is an io.Writer safe to read while run() writes to it from
@@ -254,6 +256,100 @@ func TestHTTPDDurableRestart(t *testing.T) {
 	if err := <-errCh2; err != nil {
 		t.Fatalf("second daemon shutdown: %v\n%s", err, out2.String())
 	}
+}
+
+// TestHTTPDServingPolicyFlags boots the daemon with the traffic-management
+// flags and asserts each surface: the bounded queue is reported, /metrics
+// serves parseable Prometheus text, pprof is mounted, and the per-client
+// rate limiter answers 429 with a Retry-After once the burst is spent.
+func TestHTTPDServingPolicyFlags(t *testing.T) {
+	var out syncBuffer
+	base, cancel, errCh := startHTTPD(t, &out,
+		"-queue", "1", "-rate-limit", "0.5", "-rate-burst", "3", "-pprof")
+	defer cancel()
+
+	if !strings.Contains(out.String(), "admission: queue=1 rate-limit=0.5 rate-burst=3") {
+		t.Fatalf("admission line missing:\n%s", out.String())
+	}
+
+	client := httpapi.NewClient(base, nil)
+	text, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := promexp.ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("/metrics is not valid exposition format: %v\n%s", err, text)
+	}
+	byName := make(map[string]promexp.Family, len(fams))
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f, ok := byName["dppr_queue_capacity"]; !ok || f.Samples[0].Value != 1 {
+		t.Fatalf("dppr_queue_capacity = %+v, want 1", f)
+	}
+
+	resp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+
+	// Spend the burst on the data plane; the next request must be 429 with
+	// a Retry-After suggestion. /healthz and /metrics are never limited.
+	sources, err := client.Sources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var limited *httpapi.APIError
+	for i := 0; i < 6; i++ {
+		if _, err := client.TopK(sources[0], 3); err != nil {
+			apiErr, ok := err.(*httpapi.APIError)
+			if !ok {
+				t.Fatal(err)
+			}
+			limited = apiErr
+			break
+		}
+	}
+	if limited == nil || limited.StatusCode != 429 {
+		t.Fatalf("rate limiter never fired: %+v", limited)
+	}
+	if limited.RetryAfter <= 0 {
+		t.Fatalf("429 without Retry-After: %+v", limited)
+	}
+	if err := client.Health(); err != nil {
+		t.Fatalf("/healthz must not be rate limited: %v", err)
+	}
+	if _, err := client.Metrics(); err != nil {
+		t.Fatalf("/metrics must not be rate limited: %v", err)
+	}
+
+	cancel()
+	<-errCh
+}
+
+// TestHTTPDNoMetricsFlag asserts -no-metrics removes the endpoint.
+func TestHTTPDNoMetricsFlag(t *testing.T) {
+	var out syncBuffer
+	base, cancel, errCh := startHTTPD(t, &out, "-no-metrics")
+	defer cancel()
+	if _, err := httpapi.NewClient(base, nil).Metrics(); err == nil {
+		t.Fatal("-no-metrics daemon still serves /metrics")
+	}
+	resp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Fatal("pprof mounted without -pprof")
+	}
+	cancel()
+	<-errCh
 }
 
 // TestHTTPDCheckpointWithoutDataDir asserts the admin endpoint answers 409

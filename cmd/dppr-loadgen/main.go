@@ -1,18 +1,32 @@
-// Command dppr-loadgen is a closed-loop load generator for dppr-httpd: it
-// runs a pool of client goroutines against a live server, each issuing a
-// configurable mix of top-k, estimate, batched-read and edge-write requests
-// back-to-back, and reports per-class throughput and latency percentiles.
+// Command dppr-loadgen is a load generator for dppr-httpd with two modes.
+//
+// Closed loop (default): a pool of client goroutines issues a configurable
+// mix of top-k, estimate, batched-read and edge-write requests back-to-back
+// and reports per-class throughput and latency percentiles. Because every
+// client waits for its response before sending the next request, offered
+// load self-throttles to the server's capacity — the right shape for
+// measuring peak sustainable throughput.
+//
+// Open loop (-arrival > 0): requests are dispatched at a fixed arrival rate
+// regardless of how fast responses come back, the shape of real overload —
+// users do not slow down because the server is slow. Under saturation a
+// correct server must shed with 429 + Retry-After instead of letting
+// latency grow without bound; the run records the 429 rate alongside the
+// latency percentiles of the successful requests, and the -max-p99 and
+// -expect-shed gates turn the run into an overload SLO check for CI.
 //
 // Every read response is checked against the serving contract: the snapshot
-// it was served from must be converged and its epoch must never decrease for
-// the same source as seen by one client. Any non-2xx response or contract
-// violation makes the run fail, so the tool doubles as an end-to-end
-// correctness check under load.
+// it was served from must be converged and (in closed-loop mode, where each
+// client's requests are sequential) its epoch must never decrease for the
+// same source. Any unexpected non-2xx response or contract violation makes
+// the run fail, so the tool doubles as an end-to-end correctness check
+// under load.
 //
 // Usage:
 //
 //	dppr-loadgen -addr http://127.0.0.1:8080 -clients 64 -duration 30s
 //	dppr-loadgen -addr http://127.0.0.1:8080 -clients 128 -requests 500 -write 0
+//	dppr-loadgen -addr http://127.0.0.1:8080 -arrival 500 -duration 10s -max-p99 250ms -expect-shed
 package main
 
 import (
@@ -53,23 +67,33 @@ func (c opClass) String() string {
 	return [...]string{"topk", "estimate", "batchread", "write"}[c]
 }
 
+// maxInFlight bounds the open-loop dispatcher's concurrent requests. An
+// arrival that would exceed it is dropped at the client and counted — the
+// load generator itself must not die of the overload it manufactures.
+const maxInFlight = 8192
+
 // clientResult accumulates one client goroutine's measurements; results are
-// merged after the pool drains so the hot loop never shares state.
+// merged after the pool drains so the hot loop never shares state. (The
+// open-loop collector reuses the type under a mutex.)
 type clientResult struct {
 	lat        [numClasses]metrics.LatencyStats
+	shed       [numClasses]int64
 	errors     []error
 	violations []string
 }
 
 type config struct {
-	clients  int
-	requests int
-	duration time.Duration
-	weights  [numClasses]int
-	k        int
-	batch    int
-	reads    int
-	seed     int64
+	clients    int
+	requests   int
+	duration   time.Duration
+	weights    [numClasses]int
+	k          int
+	batch      int
+	reads      int
+	seed       int64
+	arrival    float64
+	maxP99     time.Duration
+	expectShed bool
 }
 
 // parseFlags resolves the command line into the load configuration and the
@@ -79,7 +103,7 @@ func parseFlags(args []string) (config, string, error) {
 	var (
 		addr     = fs.String("addr", "http://127.0.0.1:8080", "base URL of the dppr-httpd server")
 		clients  = fs.Int("clients", 64, "concurrent closed-loop client goroutines")
-		requests = fs.Int("requests", 0, "requests per client (0 = run for -duration)")
+		requests = fs.Int("requests", 0, "requests per client, or total arrivals in open-loop mode (0 = run for -duration)")
 		duration = fs.Duration("duration", 10*time.Second, "run length when -requests is 0")
 		topk     = fs.Int("topk", 60, "mix weight of single top-k reads")
 		estimate = fs.Int("estimate", 25, "mix weight of single estimate reads")
@@ -89,25 +113,35 @@ func parseFlags(args []string) (config, string, error) {
 		batch    = fs.Int("batch", 100, "updates per write batch")
 		reads    = fs.Int("reads", 8, "queries per batched read")
 		seed     = fs.Int64("seed", 1, "random seed")
+
+		arrival    = fs.Float64("arrival", 0, "open-loop mode: fixed request arrival rate in req/s (0 = closed loop)")
+		maxP99     = fs.Duration("max-p99", 0, "fail when the read p99 of successful requests exceeds this (0 = no gate)")
+		expectShed = fs.Bool("expect-shed", false, "tolerate 429 responses as shed load and fail unless at least one occurred")
 	)
 	if err := fs.Parse(args); err != nil {
 		return config{}, "", err
 	}
 	cfg := config{
-		clients:  *clients,
-		requests: *requests,
-		duration: *duration,
-		weights:  [numClasses]int{opTopK: *topk, opEstimate: *estimate, opBatchRead: *batchr, opWrite: *write},
-		k:        *k,
-		batch:    *batch,
-		reads:    *reads,
-		seed:     *seed,
+		clients:    *clients,
+		requests:   *requests,
+		duration:   *duration,
+		weights:    [numClasses]int{opTopK: *topk, opEstimate: *estimate, opBatchRead: *batchr, opWrite: *write},
+		k:          *k,
+		batch:      *batch,
+		reads:      *reads,
+		seed:       *seed,
+		arrival:    *arrival,
+		maxP99:     *maxP99,
+		expectShed: *expectShed,
 	}
 	if cfg.clients < 1 {
 		return config{}, "", fmt.Errorf("-clients must be at least 1")
 	}
 	if cfg.batch < 1 || cfg.reads < 1 {
 		return config{}, "", fmt.Errorf("-batch and -reads must be at least 1")
+	}
+	if cfg.arrival < 0 {
+		return config{}, "", fmt.Errorf("-arrival must be non-negative")
 	}
 	total := 0
 	for _, w := range cfg.weights {
@@ -121,6 +155,11 @@ func parseFlags(args []string) (config, string, error) {
 	}
 	return cfg, *addr, nil
 }
+
+// tolerateShed reports whether 429 responses count as shed load rather than
+// failures: always in open-loop mode (overload is the point) and whenever
+// -expect-shed asks for it.
+func (cfg config) tolerateShed() bool { return cfg.expectShed || cfg.arrival > 0 }
 
 func run(args []string, out io.Writer) error {
 	cfg, addr, err := parseFlags(args)
@@ -151,6 +190,14 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("server graph has %d vertices", vertices)
 	}
 
+	if cfg.arrival > 0 {
+		fmt.Fprintf(out, "target=%s open-loop arrival=%g req/s sources=%d vertices=%d mix topk:estimate:batchread:write = %d:%d:%d:%d\n",
+			addr, cfg.arrival, len(sources), vertices,
+			cfg.weights[opTopK], cfg.weights[opEstimate], cfg.weights[opBatchRead], cfg.weights[opWrite])
+		results, drops, elapsed := runOpenLoop(cfg, addr, hc, sources, vertices)
+		return report(out, cfg, []*clientResult{results}, drops, elapsed)
+	}
+
 	fmt.Fprintf(out, "target=%s clients=%d sources=%d vertices=%d mix topk:estimate:batchread:write = %d:%d:%d:%d\n",
 		addr, cfg.clients, len(sources), vertices,
 		cfg.weights[opTopK], cfg.weights[opEstimate], cfg.weights[opBatchRead], cfg.weights[opWrite])
@@ -174,7 +221,112 @@ func run(args []string, out io.Writer) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	return report(out, results, elapsed)
+	return report(out, cfg, results, 0, elapsed)
+}
+
+// op is one pre-generated request: all randomness is drawn on the
+// dispatching goroutine so the executing goroutine never touches the rng.
+type op struct {
+	class   opClass
+	source  dynppr.VertexID
+	vertex  dynppr.VertexID
+	queries []httpapi.Query
+	updates []httpapi.Update
+}
+
+func pickClass(rng *rand.Rand, weights [numClasses]int) opClass {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	pick := rng.Intn(total)
+	class := opClass(0)
+	for acc := 0; class < numClasses; class++ {
+		acc += weights[class]
+		if pick < acc {
+			break
+		}
+	}
+	return class
+}
+
+// genOp draws one request of the configured mix.
+func genOp(rng *rand.Rand, cfg config, sources []dynppr.VertexID, vertices int) op {
+	o := op{class: pickClass(rng, cfg.weights), source: sources[rng.Intn(len(sources))]}
+	switch o.class {
+	case opEstimate:
+		o.vertex = dynppr.VertexID(rng.Intn(vertices))
+	case opBatchRead:
+		o.queries = make([]httpapi.Query, cfg.reads)
+		for q := range o.queries {
+			s := sources[rng.Intn(len(sources))]
+			if q%2 == 0 {
+				o.queries[q] = httpapi.Query{Kind: httpapi.KindTopK, Source: s, K: cfg.k}
+			} else {
+				o.queries[q] = httpapi.Query{
+					Kind: httpapi.KindEstimate, Source: s,
+					Vertex: dynppr.VertexID(rng.Intn(vertices)),
+				}
+			}
+		}
+	case opWrite:
+		o.updates = make([]httpapi.Update, cfg.batch)
+		for u := range o.updates {
+			opName := httpapi.OpInsert
+			if rng.Intn(3) == 0 {
+				opName = httpapi.OpDelete
+			}
+			o.updates[u] = httpapi.Update{
+				U:  dynppr.VertexID(rng.Intn(vertices)),
+				V:  dynppr.VertexID(rng.Intn(vertices)),
+				Op: opName,
+			}
+		}
+	}
+	return o
+}
+
+// execOp performs one request and returns the snapshot metadata of every
+// read it served, plus inline per-query errors from batched reads.
+func execOp(client *httpapi.Client, cfg config, o op) (metas []httpapi.SnapshotMeta, inline []string, err error) {
+	switch o.class {
+	case opTopK:
+		var top httpapi.TopKResult
+		if top, err = client.TopK(o.source, cfg.k); err == nil {
+			metas = append(metas, top.Snapshot)
+		}
+	case opEstimate:
+		var est httpapi.EstimateResult
+		if est, err = client.Estimate(o.source, o.vertex); err == nil {
+			metas = append(metas, est.Snapshot)
+		}
+	case opBatchRead:
+		var batch []httpapi.QueryResult
+		if batch, err = client.Query(o.queries); err == nil {
+			for _, r := range batch {
+				switch {
+				case r.TopK != nil:
+					metas = append(metas, r.TopK.Snapshot)
+				case r.Estimate != nil:
+					metas = append(metas, r.Estimate.Snapshot)
+				default:
+					inline = append(inline, fmt.Sprintf("batched query failed inline: %s", r.Error))
+				}
+			}
+		}
+	case opWrite:
+		_, err = client.ApplyEdges(o.updates)
+	}
+	return metas, inline, err
+}
+
+// checkConverged validates the stateless half of the serving contract.
+func checkConverged(m httpapi.SnapshotMeta) (string, bool) {
+	if !m.Converged {
+		return fmt.Sprintf("source %d epoch %d: snapshot not converged (residual %g > ε %g)",
+			m.Source, m.Epoch, m.MaxResidual, m.Epsilon), false
+	}
+	return "", true
 }
 
 // runClient is one closed-loop client: it issues requests back-to-back until
@@ -185,135 +337,162 @@ func runClient(id int, cfg config, addr string, hc *http.Client,
 	rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
 	epochs := make(map[dynppr.VertexID]uint64, len(sources))
 
-	totalWeight := 0
-	for _, w := range cfg.weights {
-		totalWeight += w
-	}
-
-	checkMeta := func(m httpapi.SnapshotMeta) {
-		if !m.Converged {
-			res.violations = append(res.violations,
-				fmt.Sprintf("source %d epoch %d: snapshot not converged (residual %g > ε %g)",
-					m.Source, m.Epoch, m.MaxResidual, m.Epsilon))
-		}
-		if last, ok := epochs[m.Source]; ok && m.Epoch < last {
-			res.violations = append(res.violations,
-				fmt.Sprintf("source %d: epoch went backwards %d -> %d", m.Source, last, m.Epoch))
-		}
-		epochs[m.Source] = m.Epoch
-	}
-
 	for i := 0; cfg.requests <= 0 || i < cfg.requests; i++ {
 		if cfg.requests <= 0 && !time.Now().Before(deadline) {
 			return
 		}
-		pick := rng.Intn(totalWeight)
-		class := opClass(0)
-		for acc := 0; class < numClasses; class++ {
-			acc += cfg.weights[class]
-			if pick < acc {
-				break
-			}
-		}
-		src := sources[rng.Intn(len(sources))]
+		o := genOp(rng, cfg, sources, vertices)
 		start := time.Now()
-		var err error
-		switch class {
-		case opTopK:
-			var top httpapi.TopKResult
-			if top, err = client.TopK(src, cfg.k); err == nil {
-				checkMeta(top.Snapshot)
-			}
-		case opEstimate:
-			var est httpapi.EstimateResult
-			v := dynppr.VertexID(rng.Intn(vertices))
-			if est, err = client.Estimate(src, v); err == nil {
-				checkMeta(est.Snapshot)
-			}
-		case opBatchRead:
-			queries := make([]httpapi.Query, cfg.reads)
-			for q := range queries {
-				s := sources[rng.Intn(len(sources))]
-				if q%2 == 0 {
-					queries[q] = httpapi.Query{Kind: httpapi.KindTopK, Source: s, K: cfg.k}
-				} else {
-					queries[q] = httpapi.Query{
-						Kind: httpapi.KindEstimate, Source: s,
-						Vertex: dynppr.VertexID(rng.Intn(vertices)),
-					}
-				}
-			}
-			var batch []httpapi.QueryResult
-			if batch, err = client.Query(queries); err == nil {
-				for _, r := range batch {
-					switch {
-					case r.TopK != nil:
-						checkMeta(r.TopK.Snapshot)
-					case r.Estimate != nil:
-						checkMeta(r.Estimate.Snapshot)
-					default:
-						res.violations = append(res.violations,
-							fmt.Sprintf("batched query failed inline: %s", r.Error))
-					}
-				}
-			}
-		case opWrite:
-			updates := make([]httpapi.Update, cfg.batch)
-			for u := range updates {
-				op := httpapi.OpInsert
-				if rng.Intn(3) == 0 {
-					op = httpapi.OpDelete
-				}
-				updates[u] = httpapi.Update{
-					U:  dynppr.VertexID(rng.Intn(vertices)),
-					V:  dynppr.VertexID(rng.Intn(vertices)),
-					Op: op,
-				}
-			}
-			_, err = client.ApplyEdges(updates)
-		}
-		res.lat[class].Observe(time.Since(start))
+		metas, inline, err := execOp(client, cfg, o)
 		if err != nil {
-			res.errors = append(res.errors, fmt.Errorf("client %d %s: %w", id, class, err))
+			if cfg.tolerateShed() && httpapi.IsOverloaded(err) {
+				res.shed[o.class]++
+				continue
+			}
+			res.errors = append(res.errors, fmt.Errorf("client %d %s: %w", id, o.class, err))
+			continue
+		}
+		res.lat[o.class].Observe(time.Since(start))
+		res.violations = append(res.violations, inline...)
+		for _, m := range metas {
+			if msg, ok := checkConverged(m); !ok {
+				res.violations = append(res.violations, msg)
+			}
+			// One client's requests are sequential, so the epoch it observes
+			// per source must be monotone.
+			if last, ok := epochs[m.Source]; ok && m.Epoch < last {
+				res.violations = append(res.violations,
+					fmt.Sprintf("source %d: epoch went backwards %d -> %d", m.Source, last, m.Epoch))
+			}
+			epochs[m.Source] = m.Epoch
 		}
 	}
 }
 
-func report(out io.Writer, results []*clientResult, elapsed time.Duration) error {
+// runOpenLoop dispatches requests at the fixed arrival rate regardless of
+// response latency. The dispatcher generates each op single-threaded, then
+// hands it to a goroutine bounded by maxInFlight; arrivals beyond the bound
+// are dropped at the client and counted. Epoch monotonicity is not checked
+// here — concurrent responses have no per-client ordering — but convergence
+// is.
+func runOpenLoop(cfg config, addr string, hc *http.Client,
+	sources []dynppr.VertexID, vertices int) (*clientResult, int64, time.Duration) {
+	client := httpapi.NewClient(addr, hc)
+	rng := rand.New(rand.NewSource(cfg.seed))
+	res := &clientResult{}
+	var mu sync.Mutex
+	var drops int64
+
+	interval := time.Duration(float64(time.Second) / cfg.arrival)
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for issued := 0; ; issued++ {
+		if cfg.requests > 0 {
+			if issued >= cfg.requests {
+				break
+			}
+		} else if time.Since(start) >= cfg.duration {
+			break
+		}
+		// Pace against the schedule, not the previous send, so slow sends do
+		// not silently lower the offered rate.
+		if d := time.Until(start.Add(time.Duration(issued) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		o := genOp(rng, cfg, sources, vertices)
+		select {
+		case sem <- struct{}{}:
+		default:
+			drops++
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			reqStart := time.Now()
+			metas, inline, err := execOp(client, cfg, o)
+			elapsed := time.Since(reqStart)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if httpapi.IsOverloaded(err) {
+					res.shed[o.class]++
+				} else {
+					res.errors = append(res.errors, fmt.Errorf("%s: %w", o.class, err))
+				}
+				return
+			}
+			res.lat[o.class].Observe(elapsed)
+			res.violations = append(res.violations, inline...)
+			for _, m := range metas {
+				if msg, ok := checkConverged(m); !ok {
+					res.violations = append(res.violations, msg)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return res, drops, time.Since(start)
+}
+
+func report(out io.Writer, cfg config, results []*clientResult, drops int64, elapsed time.Duration) error {
 	var merged [numClasses]metrics.LatencyStats
+	var shed [numClasses]int64
 	var errs []error
 	var violations []string
 	for _, res := range results {
 		for c := opClass(0); c < numClasses; c++ {
 			merged[c].AddAll(&res.lat[c])
+			shed[c] += res.shed[c]
 		}
 		errs = append(errs, res.errors...)
 		violations = append(violations, res.violations...)
 	}
 
-	var total int64
+	var total, totalShed int64
 	for c := opClass(0); c < numClasses; c++ {
 		total += int64(merged[c].Count())
+		totalShed += shed[c]
 	}
 	fmt.Fprintf(out, "completed %d requests in %v (%.0f req/sec overall)\n",
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
-	fmt.Fprintf(out, "%-10s %10s %12s %12s %12s %12s %12s\n",
-		"class", "requests", "mean", "p50", "p95", "p99", "max")
+	fmt.Fprintf(out, "%-10s %10s %10s %12s %12s %12s %12s %12s\n",
+		"class", "requests", "shed", "mean", "p50", "p95", "p99", "max")
 	for c := opClass(0); c < numClasses; c++ {
 		l := &merged[c]
-		if l.Count() == 0 {
+		if l.Count() == 0 && shed[c] == 0 {
 			continue
 		}
-		fmt.Fprintf(out, "%-10s %10d %12v %12v %12v %12v %12v\n",
-			c, l.Count(),
+		fmt.Fprintf(out, "%-10s %10d %10d %12v %12v %12v %12v %12v\n",
+			c, l.Count(), shed[c],
 			l.Mean().Round(time.Microsecond),
 			l.Percentile(50).Round(time.Microsecond),
 			l.Percentile(95).Round(time.Microsecond),
 			l.Percentile(99).Round(time.Microsecond),
 			l.Max().Round(time.Microsecond))
 	}
+	issued := total + totalShed + drops
+	if issued > 0 {
+		fmt.Fprintf(out, "shed (429) responses: %d (%.1f%% of %d issued)\n",
+			totalShed, 100*float64(totalShed)/float64(issued), issued)
+	}
+	if drops > 0 {
+		fmt.Fprintf(out, "dropped at client (in-flight cap %d): %d\n", maxInFlight, drops)
+	}
 	fmt.Fprintf(out, "non-2xx or transport errors: %d\n", len(errs))
 	fmt.Fprintf(out, "snapshot contract violations: %d\n", len(violations))
+
+	// Read p99 over the single-read classes: the user-facing latency SLO.
+	var readLat metrics.LatencyStats
+	readLat.AddAll(&merged[opTopK])
+	readLat.AddAll(&merged[opEstimate])
+	readLat.AddAll(&merged[opBatchRead])
+	readP99 := readLat.Percentile(99)
+	if readLat.Count() > 0 {
+		fmt.Fprintf(out, "read p99: %v\n", readP99.Round(time.Microsecond))
+	}
 
 	if len(errs) > 0 {
 		return fmt.Errorf("%d request(s) failed, first: %w", len(errs), errs[0])
@@ -321,6 +500,12 @@ func report(out io.Writer, results []*clientResult, elapsed time.Duration) error
 	if len(violations) > 0 {
 		sort.Strings(violations)
 		return fmt.Errorf("%d snapshot contract violation(s), first: %s", len(violations), violations[0])
+	}
+	if cfg.maxP99 > 0 && readP99 > cfg.maxP99 {
+		return fmt.Errorf("read p99 %v exceeds the -max-p99 SLO %v", readP99, cfg.maxP99)
+	}
+	if cfg.expectShed && totalShed == 0 {
+		return fmt.Errorf("-expect-shed: the server never shed a request with 429")
 	}
 	return nil
 }

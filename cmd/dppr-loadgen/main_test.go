@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"dynppr"
 	"dynppr/internal/httpapi"
@@ -89,6 +90,83 @@ func TestLoadgenReadOnlyMix(t *testing.T) {
 	}
 	if strings.Contains(out.String(), "write") && strings.Contains(out.String(), "\nwrite ") {
 		t.Fatalf("write class should be silent with weight 0:\n%s", out.String())
+	}
+}
+
+// startOverloadServer brings up a server shaped to shed: a write pipeline
+// of depth 1 with a near-zero admission timeout, over a graph large enough
+// that write batches occupy the pipeline for a visible time.
+func startOverloadServer(t *testing.T) string {
+	t.Helper()
+	edges, err := dynppr.GenerateEdges(dynppr.SyntheticConfig{
+		Model: dynppr.ModelRMAT, Vertices: 2000, Edges: 16000, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dynppr.GraphFromEdges(edges)
+	sources := g.TopDegreeVertices(2)
+	so := dynppr.DefaultServiceOptions()
+	so.Options.Epsilon = 1e-6
+	so.Options.Workers = 2
+	so.PoolWorkers = 2
+	so.QueueDepth = 1
+	svc, err := dynppr.NewService(g, sources, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	srv := httpapi.NewServer(svc, httpapi.ServerOptions{
+		Addr:    "127.0.0.1:0",
+		Handler: httpapi.HandlerOptions{AdmissionTimeout: time.Millisecond},
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Wait() })
+	t.Cleanup(func() { srv.Shutdown(t.Context()) })
+	return srv.URL()
+}
+
+// TestLoadgenOpenLoopOverload drives a write-heavy open-loop stream into a
+// server with a single-slot pipeline: the server must shed with 429 (so
+// -expect-shed passes), reads must stay within a generous p99 SLO, and no
+// request may fail with anything but 429.
+func TestLoadgenOpenLoopOverload(t *testing.T) {
+	base := startOverloadServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", base, "-arrival", "400", "-requests", "300",
+		"-write", "70", "-topk", "25", "-estimate", "5", "-batchread", "0",
+		"-batch", "400", "-seed", "9",
+		"-max-p99", "5s", "-expect-shed",
+	}, &out)
+	if err != nil {
+		t.Fatalf("overload run failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"open-loop arrival=400",
+		"shed (429) responses:",
+		"read p99:",
+		"non-2xx or transport errors: 0",
+		"snapshot contract violations: 0",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestLoadgenP99Gate asserts the SLO gate fires on an impossible target.
+func TestLoadgenP99Gate(t *testing.T) {
+	base := startServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", base, "-clients", "4", "-requests", "10", "-write", "0",
+		"-max-p99", "1ns",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "exceeds the -max-p99 SLO") {
+		t.Fatalf("p99 gate did not fire: %v\n%s", err, out.String())
 	}
 }
 

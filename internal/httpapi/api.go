@@ -136,6 +136,14 @@ func FromBatch(b dynppr.Batch) []Update {
 }
 
 // EdgesRequest is the body of POST /edges.
+//
+// Retry contract: POST /edges is idempotent in effect. A 429 (or any
+// admission failure) means the batch never entered the write pipeline and
+// was never journaled, so retrying cannot double-apply; and because the
+// graph has set semantics — a duplicate insert or a delete of a missing
+// edge is skipped, not an error — re-sending a batch whose first attempt
+// did succeed (e.g. after a lost response) converges to the same graph,
+// merely reporting the repeats in EdgesResponse.Skipped.
 type EdgesRequest struct {
 	Updates []Update `json:"updates"`
 }
@@ -208,6 +216,8 @@ type ServiceStats struct {
 	UpdatesApplied   int64         `json:"updates_applied"`
 	UpdatesSkipped   int64         `json:"updates_skipped"`
 	QueueDepth       int           `json:"queue_depth"`
+	QueueCap         int           `json:"queue_cap"`
+	Shed             int64         `json:"shed"`
 	LastBatchMicros  int64         `json:"last_batch_micros"`
 	AvgBatchMicros   int64         `json:"avg_batch_micros"`
 	TotalBatchMicros int64         `json:"total_batch_micros"`
@@ -224,6 +234,8 @@ func serviceStats(st dynppr.ServiceStats) ServiceStats {
 		UpdatesApplied:   st.UpdatesApplied,
 		UpdatesSkipped:   st.UpdatesSkipped,
 		QueueDepth:       st.QueueDepth,
+		QueueCap:         st.QueueCap,
+		Shed:             st.Shed,
 		LastBatchMicros:  st.LastBatchLatency.Microseconds(),
 		AvgBatchMicros:   st.AvgBatchLatency().Microseconds(),
 		TotalBatchMicros: st.TotalBatchLatency.Microseconds(),
@@ -268,11 +280,23 @@ type EndpointStats struct {
 	MaxMicros  int64   `json:"max_micros"`
 }
 
+// OverloadStats reports the HTTP layer's traffic-management counters: how
+// many requests were answered 429 because the write pipeline was saturated
+// (Shed) or because the per-client token bucket rejected them
+// (RateLimited), and how many reads were answered from another identical
+// in-flight request (Coalesced).
+type OverloadStats struct {
+	Shed        int64 `json:"shed"`
+	RateLimited int64 `json:"rate_limited"`
+	Coalesced   int64 `json:"coalesced"`
+}
+
 // StatsResponse is the body of GET /stats: the service's serving statistics
-// plus the HTTP layer's per-endpoint counters.
+// plus the HTTP layer's per-endpoint and traffic-management counters.
 type StatsResponse struct {
-	Service ServiceStats             `json:"service"`
-	HTTP    map[string]EndpointStats `json:"http"`
+	Service  ServiceStats             `json:"service"`
+	HTTP     map[string]EndpointStats `json:"http"`
+	Overload OverloadStats            `json:"overload"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -3,6 +3,7 @@ package httpapi
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -17,11 +18,22 @@ import (
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's suggested backoff, decoded from the
+	// Retry-After header of a 429; zero when the server sent none.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("httpapi: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// IsOverloaded reports whether the error is a 429 Too Many Requests — the
+// server shed the request (pipeline saturation or rate limiting) and it is
+// safe to retry after the suggested backoff.
+func IsOverloaded(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests
 }
 
 // Client talks to a dppr-httpd server. It is safe for concurrent use: the
@@ -74,7 +86,13 @@ func (c *Client) do(method, path string, body, out any) error {
 		if err := json.NewDecoder(resp.Body).Decode(&envelope); err == nil && envelope.Error != "" {
 			msg = envelope.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		apiErr := &APIError{StatusCode: resp.StatusCode, Message: msg}
+		if raw := resp.Header.Get("Retry-After"); raw != "" {
+			if secs, err := strconv.Atoi(raw); err == nil && secs >= 0 {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return apiErr
 	}
 	if out == nil {
 		return nil
@@ -152,6 +170,24 @@ func (c *Client) Checkpoint() (CheckpointResponse, error) {
 	var out CheckpointResponse
 	err := c.do(http.MethodPost, "/checkpoint", nil, &out)
 	return out, err
+}
+
+// Metrics fetches GET /metrics and returns the raw Prometheus text
+// exposition (parse it with promexp.ParseText when structure is needed).
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: resp.StatusCode, Message: string(body)}
+	}
+	return string(body), nil
 }
 
 // ApplyEdges posts an edge-update batch and returns what it did.

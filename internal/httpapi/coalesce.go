@@ -1,0 +1,68 @@
+package httpapi
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup coalesces concurrent duplicate reads: while one call for a key
+// is in flight, later calls for the same key wait for its result instead of
+// re-running fn. This is the classic singleflight pattern, reimplemented
+// here because the serving layer takes no external dependencies.
+//
+// Coalescing is safe for /topk precisely because reads are served from
+// immutable converged snapshots: two requests that coalesce observe the same
+// snapshot they could each have read independently, so sharing the result
+// never weakens the consistency contract (the shared response carries the
+// snapshot epoch either caller would have seen at that instant).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	wg sync.WaitGroup
+	// waiters counts callers sharing this flight's result; it lets tests
+	// (and debugging) observe that a join actually happened.
+	waiters atomic.Int32
+	val     any
+	err     error
+}
+
+// do runs fn for key, deduplicating against concurrent calls with the same
+// key. shared reports whether the result came from another caller's flight.
+func (g *flightGroup) do(key string, fn func() (any, error)) (val any, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		c.waiters.Add(1)
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, true, c.err
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, false, c.err
+}
+
+// inFlightWaiters reports how many callers are currently waiting to share
+// key's in-flight result; 0 when no call for key is in flight.
+func (g *flightGroup) inFlightWaiters(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return int(c.waiters.Load())
+	}
+	return 0
+}

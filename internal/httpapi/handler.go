@@ -1,24 +1,75 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"dynppr"
+	"dynppr/internal/promexp"
 )
 
 // maxBodyBytes bounds request bodies: a 1 MiB JSON body holds ~30k edge
 // updates, far beyond the batch sizes the write pipeline is tuned for.
 const maxBodyBytes = 1 << 20
 
+// maxTopK caps the k accepted by /topk and batched topk queries. Rankings
+// are materialized per request, so an absurd k is a memory-amplification
+// vector; real rankings are tens of entries.
+const maxTopK = 1024
+
+// defaultTopK is the ranking length when the k parameter is omitted.
+const defaultTopK = 10
+
+// HandlerOptions configure the traffic-management behavior of a Handler.
+// The zero value is a production-safe default: admission bounded at one
+// second, read coalescing on, /metrics exported, rate limiting and pprof
+// off.
+type HandlerOptions struct {
+	// RateLimit is the sustained per-client request rate (requests/second)
+	// across the data-plane endpoints; 0 disables rate limiting. Clients
+	// are keyed by the X-Client-ID header when present, else by remote
+	// host. /healthz, /stats, /metrics and /debug/pprof are never limited.
+	RateLimit float64
+	// RateBurst is the token-bucket burst size; <= 0 selects 16.
+	RateBurst int
+	// AdmissionTimeout bounds how long a write request waits for a slot in
+	// the pipeline's bounded queue before being shed with 429. The timeout
+	// covers admission only — once a mutation is accepted (and journaled)
+	// it always runs to completion, so a 429 guarantees the batch had no
+	// effect. <= 0 selects one second.
+	AdmissionTimeout time.Duration
+	// DisableCoalesce turns off deduplication of identical concurrent
+	// /topk reads.
+	DisableCoalesce bool
+	// DisableMetrics removes the GET /metrics Prometheus endpoint.
+	DisableMetrics bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiles expose internals and burn CPU, so operators opt in
+	// (and should firewall the path).
+	EnablePprof bool
+}
+
+func (o *HandlerOptions) fill() {
+	if o.AdmissionTimeout <= 0 {
+		o.AdmissionTimeout = time.Second
+	}
+	if o.RateBurst <= 0 {
+		o.RateBurst = 16
+	}
+}
+
 // Handler serves the HTTP/JSON API over one dynppr.Service. Routing:
 //
 //	GET  /healthz             liveness (503 once the service is closed)
 //	GET  /stats               service + per-endpoint HTTP statistics
+//	GET  /metrics             Prometheus text-format metrics
 //	GET  /sources             tracked sources
 //	POST /sources             add/remove tracked sources
 //	GET  /topk?source=&k=     top-k ranking towards source
@@ -26,34 +77,60 @@ const maxBodyBytes = 1 << 20
 //	POST /query               batched topk/estimate queries
 //	POST /edges               edge-update batch
 //	POST /checkpoint          admin: checkpoint the service's durable state
+//	GET  /debug/pprof/...     runtime profiles (only with EnablePprof)
 //
-// The Handler itself is stateless beyond its metrics; it is safe for
-// concurrent use by the http.Server's connection goroutines because the
-// Service read path is lock-free and its write path is serialized.
+// Overload surfaces as 429 Too Many Requests with a Retry-After header:
+// either the per-client rate limiter rejected the request, or the write
+// pipeline's bounded queue stayed full past the admission timeout. The
+// Handler is safe for concurrent use by the http.Server's connection
+// goroutines because the Service read path is lock-free and its write path
+// is serialized.
 type Handler struct {
 	svc     *dynppr.Service
 	mux     *http.ServeMux
 	metrics *Metrics
+	opts    HandlerOptions
+	limiter *rateLimiter
+	flights flightGroup
 }
 
-// NewHandler builds the API handler over svc. The caller keeps ownership of
-// svc and is responsible for closing it.
+// NewHandler builds the API handler over svc with default options. The
+// caller keeps ownership of svc and is responsible for closing it.
 func NewHandler(svc *dynppr.Service) *Handler {
+	return NewHandlerOpts(svc, HandlerOptions{})
+}
+
+// NewHandlerOpts builds the API handler over svc with explicit
+// traffic-management options.
+func NewHandlerOpts(svc *dynppr.Service, opts HandlerOptions) *Handler {
+	opts.fill()
 	h := &Handler{
-		svc: svc,
-		mux: http.NewServeMux(),
+		svc:  svc,
+		mux:  http.NewServeMux(),
+		opts: opts,
 		metrics: newMetrics(
 			"/healthz", "/stats", "/sources", "/topk", "/estimate", "/query", "/edges", "/checkpoint",
 		),
+		limiter: newRateLimiter(opts.RateLimit, opts.RateBurst),
 	}
-	h.route("/healthz", http.MethodGet, h.handleHealthz)
-	h.route("/stats", http.MethodGet, h.handleStats)
-	h.route("/sources", "", h.handleSources)
-	h.route("/topk", http.MethodGet, h.handleTopK)
-	h.route("/estimate", http.MethodGet, h.handleEstimate)
-	h.route("/query", http.MethodPost, h.handleQuery)
-	h.route("/edges", http.MethodPost, h.handleEdges)
-	h.route("/checkpoint", http.MethodPost, h.handleCheckpoint)
+	h.route("/healthz", http.MethodGet, false, h.handleHealthz)
+	h.route("/stats", http.MethodGet, false, h.handleStats)
+	h.route("/sources", "", true, h.handleSources)
+	h.route("/topk", http.MethodGet, true, h.handleTopK)
+	h.route("/estimate", http.MethodGet, true, h.handleEstimate)
+	h.route("/query", http.MethodPost, true, h.handleQuery)
+	h.route("/edges", http.MethodPost, true, h.handleEdges)
+	h.route("/checkpoint", http.MethodPost, true, h.handleCheckpoint)
+	if !opts.DisableMetrics {
+		h.mux.Handle("/metrics", promexp.Handler(h.gather))
+	}
+	if opts.EnablePprof {
+		h.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		h.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		h.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		h.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return h
 }
 
@@ -66,10 +143,12 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) Metrics() *Metrics { return h.metrics }
 
 // apiError carries an HTTP status with a message through the handler
-// helpers.
+// helpers; retryAfter, when set, overrides the Retry-After suggestion on a
+// 429.
 type apiError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *apiError) Error() string { return e.msg }
@@ -84,6 +163,8 @@ func errorStatus(err error) int {
 	switch {
 	case errors.As(err, &ae):
 		return ae.status
+	case errors.Is(err, dynppr.ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, dynppr.ErrUnknownSource):
 		return http.StatusNotFound
 	case errors.Is(err, dynppr.ErrServiceClosed):
@@ -95,10 +176,44 @@ func errorStatus(err error) int {
 	}
 }
 
+// retryAfter suggests how long the client of a 429 should back off. A rate
+// limiter rejection carries the exact token-refill delay; an overload
+// rejection estimates the queue's drain time from its depth and the recent
+// pipeline latency.
+func (h *Handler) retryAfter(err error) time.Duration {
+	var ae *apiError
+	if errors.As(err, &ae) && ae.retryAfter > 0 {
+		return ae.retryAfter
+	}
+	q := h.svc.Queue()
+	lat := q.LastBatchLatency
+	if lat <= 0 {
+		lat = q.AvgBatchLatency
+	}
+	if lat <= 0 {
+		lat = 50 * time.Millisecond
+	}
+	d := lat * time.Duration(q.Depth+1)
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 60*time.Second {
+		d = 60 * time.Second
+	}
+	return d
+}
+
+// retryAfterHeader formats a backoff duration as whole seconds, rounded up
+// (Retry-After carries integral seconds; 0 would invite an instant retry).
+func retryAfterHeader(d time.Duration) string {
+	return strconv.Itoa(int(math.Ceil(d.Seconds())))
+}
+
 // route registers an endpoint that answers with JSON, wrapping it with
-// method filtering, timing and error accounting. An empty method admits any
-// (the endpoint dispatches internally).
-func (h *Handler) route(path, method string, fn func(*http.Request) (any, error)) {
+// method filtering, per-client rate limiting (for limited endpoints),
+// timing and error accounting. An empty method admits any (the endpoint
+// dispatches internally).
+func (h *Handler) route(path, method string, limited bool, fn func(*http.Request) (any, error)) {
 	h.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		var (
@@ -106,18 +221,27 @@ func (h *Handler) route(path, method string, fn func(*http.Request) (any, error)
 			err    error
 			status = http.StatusOK
 		)
-		if method != "" && r.Method != method {
+		switch {
+		case method != "" && r.Method != method:
 			status = http.StatusMethodNotAllowed
 			err = fmt.Errorf("method %s not allowed on %s", r.Method, path)
 			w.Header().Set("Allow", method)
-		} else {
+		case limited && h.limiter != nil && !h.admitClient(r, start, &err):
+			status = errorStatus(err)
+		default:
 			r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 			body, err = fn(r)
 			if err != nil {
 				status = errorStatus(err)
+				if errors.Is(err, dynppr.ErrOverloaded) {
+					h.metrics.shed.Add(1)
+				}
 			}
 		}
 		if err != nil {
+			if status == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", retryAfterHeader(h.retryAfter(err)))
+			}
 			body = ErrorResponse{Error: err.Error()}
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -127,6 +251,30 @@ func (h *Handler) route(path, method string, fn func(*http.Request) (any, error)
 		_ = json.NewEncoder(w).Encode(body)
 		h.metrics.Observe(path, time.Since(start), status >= 400)
 	})
+}
+
+// admitClient spends one rate-limit token for the request's client. On
+// rejection it stores the 429 into *errp and reports false.
+func (h *Handler) admitClient(r *http.Request, now time.Time, errp *error) bool {
+	ok, wait := h.limiter.allow(clientKey(r), now)
+	if ok {
+		return true
+	}
+	h.metrics.rateLimited.Add(1)
+	*errp = &apiError{
+		status:     http.StatusTooManyRequests,
+		msg:        "rate limit exceeded for this client",
+		retryAfter: wait,
+	}
+	return false
+}
+
+// admissionCtx bounds how long a write may wait for pipeline admission.
+// The deadline is enforced before the mutation enters the pipeline (and
+// thus before it is journaled), never after: a request that times out here
+// is guaranteed to have had no effect, so clients can retry a 429 freely.
+func (h *Handler) admissionCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), h.opts.AdmissionTimeout)
 }
 
 func decodeBody(r *http.Request, into any) error {
@@ -150,6 +298,21 @@ func parseVertex(r *http.Request, key string) (dynppr.VertexID, error) {
 	return dynppr.VertexID(v), nil
 }
 
+// parseK reads the k query parameter: absent selects defaultTopK;
+// non-numeric is a 400 here and out-of-range values are rejected by topK so
+// the same bounds govern /topk and batched /query reads.
+func parseK(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("k")
+	if raw == "" {
+		return defaultTopK, nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequest("bad k %q: not an integer", raw)
+	}
+	return k, nil
+}
+
 func (h *Handler) handleHealthz(*http.Request) (any, error) {
 	if h.svc.Closed() {
 		return nil, &apiError{status: http.StatusServiceUnavailable, msg: "service is closed"}
@@ -159,8 +322,9 @@ func (h *Handler) handleHealthz(*http.Request) (any, error) {
 
 func (h *Handler) handleStats(*http.Request) (any, error) {
 	return StatsResponse{
-		Service: serviceStats(h.svc.Stats()),
-		HTTP:    h.metrics.Snapshot(),
+		Service:  serviceStats(h.svc.Stats()),
+		HTTP:     h.metrics.Snapshot(),
+		Overload: h.metrics.Overload(),
 	}, nil
 }
 
@@ -203,16 +367,18 @@ func (h *Handler) handleSources(r *http.Request) (any, error) {
 			}
 			delete(tracked, s)
 		}
+		ctx, cancel := h.admissionCtx(r)
+		defer cancel()
 		for _, s := range req.Add {
-			if err := h.svc.AddSource(s); err != nil {
-				if errors.Is(err, dynppr.ErrServiceClosed) {
+			if err := h.svc.AddSourceCtx(ctx, s); err != nil {
+				if errors.Is(err, dynppr.ErrServiceClosed) || errors.Is(err, dynppr.ErrOverloaded) {
 					return nil, err
 				}
 				return nil, &apiError{status: http.StatusConflict, msg: err.Error()}
 			}
 		}
 		for _, s := range req.Remove {
-			if err := h.svc.RemoveSource(s); err != nil {
+			if err := h.svc.RemoveSourceCtx(ctx, s); err != nil {
 				return nil, err
 			}
 		}
@@ -226,8 +392,11 @@ func (h *Handler) handleSources(r *http.Request) (any, error) {
 }
 
 func (h *Handler) topK(source dynppr.VertexID, k int) (*TopKResult, error) {
-	if k < 0 {
-		return nil, badRequest("k must be non-negative, got %d", k)
+	if k <= 0 {
+		return nil, badRequest("k must be positive, got %d", k)
+	}
+	if k > maxTopK {
+		return nil, badRequest("k %d exceeds the maximum %d", k, maxTopK)
 	}
 	top, info, err := h.svc.TopKInfo(source, k)
 	if err != nil {
@@ -248,19 +417,30 @@ func (h *Handler) estimate(source, v dynppr.VertexID) (*EstimateResult, error) {
 	return &EstimateResult{Snapshot: snapshotMeta(info), Vertex: v, Score: est}, nil
 }
 
+// handleTopK answers one ranking read. Identical concurrent requests (same
+// source and k) are coalesced into one snapshot read: reads are served from
+// immutable converged snapshots, so every coalesced caller receives a
+// response it could have produced itself, snapshot metadata included.
 func (h *Handler) handleTopK(r *http.Request) (any, error) {
 	source, err := parseVertex(r, "source")
 	if err != nil {
 		return nil, err
 	}
-	k := 10
-	if raw := r.URL.Query().Get("k"); raw != "" {
-		k, err = strconv.Atoi(raw)
-		if err != nil {
-			return nil, badRequest("bad k %q", raw)
-		}
+	k, err := parseK(r)
+	if err != nil {
+		return nil, err
 	}
-	return h.topK(source, k)
+	if h.opts.DisableCoalesce {
+		return h.topK(source, k)
+	}
+	key := strconv.Itoa(int(source)) + "/" + strconv.Itoa(k)
+	val, shared, err := h.flights.do(key, func() (any, error) {
+		return h.topK(source, k)
+	})
+	if shared {
+		h.metrics.coalesced.Add(1)
+	}
+	return val, err
 }
 
 func (h *Handler) handleEstimate(r *http.Request) (any, error) {
@@ -292,7 +472,11 @@ func (h *Handler) handleQuery(r *http.Request) (any, error) {
 		var res QueryResult
 		switch q.Kind {
 		case KindTopK:
-			top, err := h.topK(q.Source, q.K)
+			k := q.K
+			if k == 0 {
+				k = defaultTopK
+			}
+			top, err := h.topK(q.Source, k)
 			if err != nil {
 				res.Error = err.Error()
 			} else {
@@ -325,6 +509,13 @@ func (h *Handler) handleCheckpoint(*http.Request) (any, error) {
 	return CheckpointResponse{LSN: lsn}, nil
 }
 
+// handleEdges applies one edge-update batch. The admission deadline bounds
+// only the wait for a pipeline slot: a 429 means the batch was never
+// admitted (and never journaled), while an admitted batch always runs to
+// completion and is acknowledged with its result. Together with the graph's
+// set semantics — duplicate inserts and missing deletes are skipped — this
+// makes retrying any non-2xx response safe: a batch can never be applied
+// one-and-a-half times.
 func (h *Handler) handleEdges(r *http.Request) (any, error) {
 	var req EdgesRequest
 	if err := decodeBody(r, &req); err != nil {
@@ -341,7 +532,9 @@ func (h *Handler) handleEdges(r *http.Request) (any, error) {
 		}
 		batch[i] = up
 	}
-	res, err := h.svc.ApplyBatch(batch)
+	ctx, cancel := h.admissionCtx(r)
+	defer cancel()
+	res, err := h.svc.ApplyBatchCtx(ctx, batch)
 	if err != nil {
 		return nil, err
 	}

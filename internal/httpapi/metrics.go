@@ -8,21 +8,34 @@ import (
 	"dynppr/internal/metrics"
 )
 
-// ringSize bounds the latency samples kept per endpoint: percentiles are
-// computed over the most recent ringSize requests, so the metrics stay O(1)
-// in memory under sustained load.
+// ringSize bounds the latency samples kept per endpoint for the /stats JSON
+// percentiles: they are computed over the most recent ringSize requests, so
+// the metrics stay O(1) in memory under sustained load.
 const ringSize = 8192
 
 // endpointMetrics collects one endpoint's counters. Requests and errors are
-// monotone atomics; latencies go into a fixed-size ring so Snapshot can hand
-// the recent window to metrics.LatencyStats for percentile math.
+// monotone atomics; latencies feed both a bounded recent-window ring
+// (metrics.LatencyStats, exact percentiles over the window for /stats) and
+// a set of P² streaming estimators (lifetime quantiles in O(1) memory, the
+// summary quantiles /metrics exports).
 type endpointMetrics struct {
 	requests atomic.Int64
 	errors   atomic.Int64
 
-	mu      sync.Mutex
-	samples [ringSize]time.Duration
-	n       int64 // total samples ever observed; min(n, ringSize) are live
+	mu  sync.Mutex
+	lat *metrics.LatencyStats
+	q50 *metrics.P2Quantile
+	q95 *metrics.P2Quantile
+	q99 *metrics.P2Quantile
+}
+
+func newEndpointMetrics() *endpointMetrics {
+	return &endpointMetrics{
+		lat: metrics.NewLatencyStats(ringSize),
+		q50: metrics.NewP2Quantile(0.50),
+		q95: metrics.NewP2Quantile(0.95),
+		q99: metrics.NewP2Quantile(0.99),
+	}
 }
 
 func (e *endpointMetrics) observe(d time.Duration, isErr bool) {
@@ -30,52 +43,65 @@ func (e *endpointMetrics) observe(d time.Duration, isErr bool) {
 	if isErr {
 		e.errors.Add(1)
 	}
+	secs := d.Seconds()
 	e.mu.Lock()
-	e.samples[e.n%ringSize] = d
-	e.n++
+	e.lat.Observe(d)
+	e.q50.Observe(secs)
+	e.q95.Observe(secs)
+	e.q99.Observe(secs)
 	e.mu.Unlock()
 }
 
 func (e *endpointMetrics) stats(elapsed time.Duration) EndpointStats {
-	var lat metrics.LatencyStats
 	e.mu.Lock()
-	live := e.n
-	if live > ringSize {
-		live = ringSize
-	}
-	for i := int64(0); i < live; i++ {
-		lat.Observe(e.samples[i])
-	}
-	e.mu.Unlock()
-
 	out := EndpointStats{
 		Requests:   e.requests.Load(),
 		Errors:     e.errors.Load(),
-		MeanMicros: lat.Mean().Microseconds(),
-		P50Micros:  lat.Percentile(50).Microseconds(),
-		P95Micros:  lat.Percentile(95).Microseconds(),
-		P99Micros:  lat.Percentile(99).Microseconds(),
-		MaxMicros:  lat.Max().Microseconds(),
+		MeanMicros: e.lat.Mean().Microseconds(),
+		P50Micros:  e.lat.Percentile(50).Microseconds(),
+		P95Micros:  e.lat.Percentile(95).Microseconds(),
+		P99Micros:  e.lat.Percentile(99).Microseconds(),
+		MaxMicros:  e.lat.Max().Microseconds(),
 	}
+	e.mu.Unlock()
+
 	if elapsed > 0 {
 		out.QPS = float64(out.Requests) / elapsed.Seconds()
 	}
 	return out
 }
 
-// Metrics aggregates per-endpoint serving counters for one Handler. Observe
-// is safe for concurrent use; endpoints are registered up front so the hot
-// path never takes a map-wide lock.
+// summary returns the lifetime latency aggregates for the Prometheus
+// exporter: streaming quantile estimates in seconds plus the exact running
+// sum and count.
+func (e *endpointMetrics) summary() (q50, q95, q99, sumSeconds float64, count int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.q50.Value(), e.q95.Value(), e.q99.Value(),
+		e.lat.Sum().Seconds(), int64(e.lat.Count())
+}
+
+// Metrics aggregates per-endpoint serving counters for one Handler, plus
+// the handler-wide traffic-management counters. Observe is safe for
+// concurrent use; endpoints are registered up front so the hot path never
+// takes a map-wide lock.
 type Metrics struct {
 	start     time.Time
 	endpoints map[string]*endpointMetrics
+
+	// shed counts 429s from write-pipeline overload, rateLimited 429s from
+	// the per-client token bucket, and coalesced /topk requests answered
+	// from another request's in-flight read.
+	shed        atomic.Int64
+	rateLimited atomic.Int64
+	coalesced   atomic.Int64
 }
 
 // newMetrics registers the given endpoint names.
 func newMetrics(names ...string) *Metrics {
 	m := &Metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics, len(names))}
 	for _, n := range names {
-		m.endpoints[n] = &endpointMetrics{}
+		m.endpoints[n] = newEndpointMetrics()
 	}
 	return m
 }
@@ -97,4 +123,13 @@ func (m *Metrics) Snapshot() map[string]EndpointStats {
 		out[name] = e.stats(elapsed)
 	}
 	return out
+}
+
+// Overload returns the handler-wide traffic-management counters.
+func (m *Metrics) Overload() OverloadStats {
+	return OverloadStats{
+		Shed:        m.shed.Load(),
+		RateLimited: m.rateLimited.Load(),
+		Coalesced:   m.coalesced.Load(),
+	}
 }

@@ -1,0 +1,142 @@
+package httpapi
+
+import (
+	"sort"
+
+	"dynppr/internal/promexp"
+)
+
+// gather assembles the Prometheus metric families for GET /metrics: the
+// HTTP layer's per-endpoint counters and latency summaries, the handler's
+// traffic-management counters, and the Service's pipeline, graph and
+// durability statistics. Families and series are emitted in sorted order so
+// the output is byte-stable for a fixed metric state (scrape-diff friendly,
+// and deterministic for the format round-trip test).
+func (h *Handler) gather() []promexp.Family {
+	st := h.svc.Stats()
+	q := h.svc.Queue()
+	ov := h.metrics.Overload()
+
+	names := make([]string, 0, len(h.metrics.endpoints))
+	for name := range h.metrics.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	requests := promexp.Family{
+		Name: "dppr_http_requests_total",
+		Help: "HTTP requests served, by endpoint.",
+		Type: promexp.Counter,
+	}
+	errors := promexp.Family{
+		Name: "dppr_http_request_errors_total",
+		Help: "HTTP requests answered with status >= 400, by endpoint.",
+		Type: promexp.Counter,
+	}
+	duration := promexp.Family{
+		Name: "dppr_http_request_duration_seconds",
+		Help: "HTTP request latency: streaming quantile estimates over the handler's lifetime.",
+		Type: promexp.Summary,
+	}
+	for _, name := range names {
+		e := h.metrics.endpoints[name]
+		labels := []promexp.Label{{Name: "endpoint", Value: name}}
+		requests.Samples = append(requests.Samples,
+			promexp.Sample{Labels: labels, Value: float64(e.requests.Load())})
+		errors.Samples = append(errors.Samples,
+			promexp.Sample{Labels: labels, Value: float64(e.errors.Load())})
+		q50, q95, q99, sum, count := e.summary()
+		duration.Summaries = append(duration.Summaries, promexp.SummarySample{
+			Labels: labels,
+			Quantiles: []promexp.Quantile{
+				{Q: 0.5, Value: q50},
+				{Q: 0.95, Value: q95},
+				{Q: 0.99, Value: q99},
+			},
+			Sum:   sum,
+			Count: uint64(count),
+		})
+	}
+
+	fams := []promexp.Family{
+		requests, errors, duration,
+		counter("dppr_http_shed_total",
+			"Requests answered 429 because the write pipeline was saturated.", float64(ov.Shed)),
+		counter("dppr_http_rate_limited_total",
+			"Requests answered 429 by the per-client rate limiter.", float64(ov.RateLimited)),
+		counter("dppr_http_coalesced_total",
+			"Read requests answered from another identical in-flight request.", float64(ov.Coalesced)),
+		gauge("dppr_queue_depth",
+			"Mutations waiting in the write pipeline.", float64(q.Depth)),
+		gauge("dppr_queue_capacity",
+			"Bounded capacity of the write pipeline's admission queue.", float64(q.Cap)),
+		counter("dppr_pipeline_shed_total",
+			"Mutations rejected with ErrOverloaded at pipeline admission.", float64(q.Shed)),
+		counter("dppr_batches_total",
+			"Edge-update batches applied by the write pipeline.", float64(st.Batches)),
+		counter("dppr_updates_applied_total",
+			"Effective edge updates applied.", float64(st.UpdatesApplied)),
+		counter("dppr_updates_skipped_total",
+			"No-op edge updates skipped (duplicate inserts, missing deletes).", float64(st.UpdatesSkipped)),
+		counter("dppr_batch_seconds_total",
+			"Total restore+push+publish pipeline time across batches.", st.TotalBatchLatency.Seconds()),
+		gauge("dppr_last_batch_seconds",
+			"Pipeline latency of the most recent batch.", q.LastBatchLatency.Seconds()),
+		gauge("dppr_graph_vertices", "Vertices in the served graph.", float64(st.Vertices)),
+		gauge("dppr_graph_edges", "Edges in the served graph.", float64(st.Edges)),
+		gauge("dppr_sources", "Tracked PPR sources.", float64(len(st.Sources))),
+		gauge("dppr_pool_workers", "Shard pool worker count.", float64(st.PoolWorkers)),
+	}
+
+	var fullPubs, deltaPubs, rebuilds, pushes float64
+	for _, ss := range st.Sources {
+		fullPubs += float64(ss.FullPublishes)
+		deltaPubs += float64(ss.DeltaPublishes)
+		rebuilds += float64(ss.TopKRebuilds)
+		pushes += float64(ss.Pushes)
+	}
+	fams = append(fams,
+		counter("dppr_pushes_total",
+			"Push operations performed across all tracked sources.", pushes),
+		counter("dppr_snapshot_full_publishes_total",
+			"Snapshot publications performed as full vector copies.", fullPubs),
+		counter("dppr_snapshot_delta_publishes_total",
+			"Snapshot publications performed as dirty-set deltas.", deltaPubs),
+		counter("dppr_topk_rebuilds_total",
+			"Full-scan rebuilds of per-source Top-K indexes.", rebuilds),
+	)
+
+	if p := st.Persistence; p != nil {
+		failed := 0.0
+		if p.Failed != "" {
+			failed = 1
+		}
+		fams = append(fams,
+			counter("dppr_wal_next_lsn",
+				"Sequence number the next journaled mutation will receive.", float64(p.NextLSN)),
+			gauge("dppr_checkpoint_last_lsn",
+				"WAL sequence number covered by the most recent checkpoint.", float64(p.LastCheckpointLSN)),
+			counter("dppr_checkpoints_total",
+				"Completed checkpoints over the service's lifetime.", float64(p.Checkpoints)),
+			gauge("dppr_persistence_failed",
+				"1 once persistence has sticky-failed (mutations rejected until restart), else 0.", failed),
+		)
+	}
+
+	promexp.SortFamilies(fams)
+	return fams
+}
+
+func counter(name, help string, v float64) promexp.Family {
+	return promexp.Family{
+		Name: name, Help: help, Type: promexp.Counter,
+		Samples: []promexp.Sample{{Value: v}},
+	}
+}
+
+func gauge(name, help string, v float64) promexp.Family {
+	return promexp.Family{
+		Name: name, Help: help, Type: promexp.Gauge,
+		Samples: []promexp.Sample{{Value: v}},
+	}
+}

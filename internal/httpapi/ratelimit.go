@@ -1,0 +1,118 @@
+package httpapi
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// maxBuckets bounds the rate limiter's client table. When full, admitting a
+// new client evicts the stalest bucket (the one whose tokens refilled
+// longest ago), so a scan of spoofed client IDs cannot grow memory without
+// bound — it can only recycle buckets, which for unseen clients is
+// equivalent to a fresh full bucket anyway.
+const maxBuckets = 4096
+
+// rateLimiter is a per-client token bucket. Each client earns rate tokens
+// per second up to burst; a request spends one token or is rejected with
+// the time until the next token as the suggested retry delay.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time // last refill
+}
+
+// newRateLimiter returns nil when rate <= 0 (limiting disabled); a nil
+// *rateLimiter admits everything.
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow spends one token of key's bucket. On rejection it returns the delay
+// after which one token will be available.
+func (rl *rateLimiter) allow(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if rl == nil {
+		return true, 0
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+
+	b, exists := rl.buckets[key]
+	if !exists {
+		if len(rl.buckets) >= maxBuckets {
+			rl.evictStalest(now)
+		}
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[key] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens += elapsed * rl.rate
+			if b.tokens > rl.burst {
+				b.tokens = rl.burst
+			}
+			b.last = now
+		}
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / rl.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// evictStalest drops the bucket that refilled longest ago. Called with the
+// lock held. Any fully-refilled bucket is indistinguishable from a fresh
+// one, so evicting it loses no limiting state.
+func (rl *rateLimiter) evictStalest(now time.Time) {
+	var (
+		victim string
+		oldest time.Time
+	)
+	for k, b := range rl.buckets {
+		if victim == "" || b.last.Before(oldest) {
+			victim, oldest = k, b.last
+			// A bucket idle for burst/rate seconds is already full; no
+			// better victim exists, stop scanning.
+			if now.Sub(oldest).Seconds()*rl.rate >= rl.burst {
+				break
+			}
+		}
+	}
+	if victim != "" {
+		delete(rl.buckets, victim)
+	}
+}
+
+// clientKey identifies the client for rate limiting: the X-Client-ID header
+// when present (lets load balancers and SDKs identify tenants behind shared
+// NAT), otherwise the remote host without the ephemeral port.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return "id:" + id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return "addr:" + r.RemoteAddr
+	}
+	return "addr:" + host
+}

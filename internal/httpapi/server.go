@@ -22,6 +22,11 @@ type ServerOptions struct {
 	ReadTimeout  time.Duration
 	WriteTimeout time.Duration
 	IdleTimeout  time.Duration
+	// Handler configures the handler's traffic management (rate limits,
+	// admission timeout, /metrics, pprof). A zero AdmissionTimeout is
+	// derived from WriteTimeout so a write always sheds with 429 before
+	// the connection's write deadline can kill it mid-response.
+	Handler HandlerOptions
 }
 
 func (o *ServerOptions) fill() {
@@ -36,6 +41,9 @@ func (o *ServerOptions) fill() {
 	}
 	if o.IdleTimeout <= 0 {
 		o.IdleTimeout = 60 * time.Second
+	}
+	if o.Handler.AdmissionTimeout <= 0 {
+		o.Handler.AdmissionTimeout = o.WriteTimeout / 2
 	}
 }
 
@@ -54,7 +62,7 @@ type Server struct {
 // owned: closing it is the caller's responsibility, after Shutdown.
 func NewServer(svc *dynppr.Service, opts ServerOptions) *Server {
 	opts.fill()
-	h := NewHandler(svc)
+	h := NewHandlerOpts(svc, opts.Handler)
 	return &Server{
 		handler: h,
 		http: &http.Server{

@@ -139,35 +139,106 @@ func (c *Counters) String() string {
 		s.Iterations, s.FrontierPeak, s.RestoreOps)
 }
 
-// LatencyStats summarizes a sequence of per-batch latencies.
+// DefaultLatencyWindow is the percentile window a zero-value LatencyStats
+// adopts on its first Observe: percentiles are computed over the most
+// recent DefaultLatencyWindow samples while Count, Mean, Max and Throughput
+// stay exact over every sample ever observed.
+const DefaultLatencyWindow = 8192
+
+// LatencyStats summarizes a sequence of latencies in bounded memory. The
+// totals (Count, Mean, Max, Throughput) are exact running aggregates;
+// percentiles are computed over a fixed-size ring of the most recent
+// samples, so a long-running server can feed one forever without the
+// unbounded growth (and ever-larger Percentile sorts) the old
+// append-everything implementation suffered from.
 type LatencyStats struct {
-	samples []time.Duration
+	// window is the ring capacity; 0 selects DefaultLatencyWindow lazily so
+	// the zero value keeps working.
+	window  int
+	samples []time.Duration // ring storage, len == min(count, window)
+	next    int             // ring write cursor once the ring is full
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+}
+
+// NewLatencyStats returns stats whose percentile window holds the most
+// recent window samples; window <= 0 selects DefaultLatencyWindow.
+func NewLatencyStats(window int) *LatencyStats {
+	if window <= 0 {
+		window = DefaultLatencyWindow
+	}
+	return &LatencyStats{window: window}
 }
 
 // Observe records one latency sample.
-func (l *LatencyStats) Observe(d time.Duration) { l.samples = append(l.samples, d) }
-
-// Count returns the number of samples.
-func (l *LatencyStats) Count() int { return len(l.samples) }
-
-// AddAll merges other's samples into l (for combining per-worker stats).
-func (l *LatencyStats) AddAll(other *LatencyStats) {
-	l.samples = append(l.samples, other.samples...)
+func (l *LatencyStats) Observe(d time.Duration) {
+	if l.window == 0 {
+		l.window = DefaultLatencyWindow
+	}
+	if len(l.samples) < l.window {
+		l.samples = append(l.samples, d)
+	} else {
+		l.samples[l.next] = d
+		l.next = (l.next + 1) % l.window
+	}
+	l.count++
+	l.sum += d
+	if d > l.max {
+		l.max = d
+	}
 }
 
-// Mean returns the average latency (0 with no samples).
-func (l *LatencyStats) Mean() time.Duration {
-	if len(l.samples) == 0 {
-		return 0
+// Count returns the total number of samples ever observed (not just the
+// ones still inside the percentile window).
+func (l *LatencyStats) Count() int { return int(l.count) }
+
+// AddAll merges other's aggregates and windowed samples into l (for
+// combining per-worker stats). The merged percentile window holds the union
+// of both windows, clipped to l's capacity.
+func (l *LatencyStats) AddAll(other *LatencyStats) {
+	for _, d := range other.liveSamples() {
+		l.Observe(d)
 	}
+	// Observe already advanced count/sum by the live samples; fold in the
+	// aggregates of the samples other's window had already evicted.
+	evicted := other.count - int64(len(other.samples))
+	l.count += evicted
+	l.sum += other.sum - other.liveSum()
+	if other.max > l.max {
+		l.max = other.max
+	}
+}
+
+// liveSamples returns the windowed samples oldest first.
+func (l *LatencyStats) liveSamples() []time.Duration {
+	if len(l.samples) < l.window || l.next == 0 {
+		return l.samples
+	}
+	out := make([]time.Duration, 0, len(l.samples))
+	out = append(out, l.samples[l.next:]...)
+	out = append(out, l.samples[:l.next]...)
+	return out
+}
+
+func (l *LatencyStats) liveSum() time.Duration {
 	var total time.Duration
 	for _, d := range l.samples {
 		total += d
 	}
-	return total / time.Duration(len(l.samples))
+	return total
 }
 
-// Percentile returns the p-th percentile latency, p in [0,100].
+// Mean returns the average latency over all samples (0 with no samples).
+func (l *LatencyStats) Mean() time.Duration {
+	if l.count == 0 {
+		return 0
+	}
+	return l.sum / time.Duration(l.count)
+}
+
+// Percentile returns the p-th percentile latency, p in [0,100], over the
+// most recent window of samples.
 func (l *LatencyStats) Percentile(p float64) time.Duration {
 	if len(l.samples) == 0 {
 		return 0
@@ -187,21 +258,19 @@ func (l *LatencyStats) Percentile(p float64) time.Duration {
 	return sorted[idx]
 }
 
-// Max returns the largest sample.
-func (l *LatencyStats) Max() time.Duration { return l.Percentile(100) }
+// Max returns the largest sample ever observed.
+func (l *LatencyStats) Max() time.Duration {
+	return l.max
+}
+
+// Sum returns the total of all observed samples.
+func (l *LatencyStats) Sum() time.Duration { return l.sum }
 
 // Throughput converts a number of processed items and the total elapsed time
 // of the samples into items per second.
 func (l *LatencyStats) Throughput(items int64) float64 {
-	if len(l.samples) == 0 {
+	if l.sum <= 0 {
 		return 0
 	}
-	var total time.Duration
-	for _, d := range l.samples {
-		total += d
-	}
-	if total <= 0 {
-		return 0
-	}
-	return float64(items) / total.Seconds()
+	return float64(items) / l.sum.Seconds()
 }

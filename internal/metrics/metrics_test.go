@@ -108,3 +108,65 @@ func TestLatencyStats(t *testing.T) {
 		t.Fatalf("Throughput = %v", got)
 	}
 }
+
+// TestLatencyStatsBounded pins the overload fix: memory stays bounded by
+// the window while Count, Mean and Max remain exact over every sample, and
+// percentiles track the most recent window.
+func TestLatencyStatsBounded(t *testing.T) {
+	l := NewLatencyStats(64)
+	const total = 10_000
+	for i := 1; i <= total; i++ {
+		l.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if len(l.samples) != 64 {
+		t.Fatalf("window holds %d samples, want 64", len(l.samples))
+	}
+	if l.Count() != total {
+		t.Fatalf("Count = %d, want %d", l.Count(), total)
+	}
+	wantSum := time.Duration(total) * time.Duration(total+1) / 2 * time.Microsecond
+	if want := wantSum / total; l.Mean() != want {
+		t.Fatalf("Mean = %v, want %v", l.Mean(), want)
+	}
+	if l.Max() != total*time.Microsecond {
+		t.Fatalf("Max = %v", l.Max())
+	}
+	// The percentile window covers the most recent 64 samples only.
+	if p0 := l.Percentile(0); p0 != (total-63)*time.Microsecond {
+		t.Fatalf("windowed min = %v", p0)
+	}
+	if p100 := l.Percentile(100); p100 != total*time.Microsecond {
+		t.Fatalf("windowed max = %v", p100)
+	}
+}
+
+func TestLatencyStatsAddAllExactAggregates(t *testing.T) {
+	a := NewLatencyStats(8)
+	b := NewLatencyStats(8)
+	var wantSum time.Duration
+	for i := 1; i <= 100; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+		wantSum += time.Duration(i) * time.Millisecond
+	}
+	for i := 101; i <= 120; i++ {
+		b.Observe(time.Duration(i) * time.Millisecond)
+		wantSum += time.Duration(i) * time.Millisecond
+	}
+	a.AddAll(b)
+	if a.Count() != 120 {
+		t.Fatalf("merged Count = %d", a.Count())
+	}
+	if a.Sum() != wantSum {
+		t.Fatalf("merged Sum = %v, want %v", a.Sum(), wantSum)
+	}
+	if a.Max() != 120*time.Millisecond {
+		t.Fatalf("merged Max = %v", a.Max())
+	}
+	if a.Mean() != wantSum/120 {
+		t.Fatalf("merged Mean = %v", a.Mean())
+	}
+	// The merged window ends with b's most recent samples.
+	if a.Percentile(100) != 120*time.Millisecond {
+		t.Fatalf("merged windowed max = %v", a.Percentile(100))
+	}
+}

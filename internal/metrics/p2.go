@@ -1,0 +1,139 @@
+package metrics
+
+import "sort"
+
+// P2Quantile is a streaming quantile estimator using the P² algorithm
+// (Jain & Chlamtac, CACM 1985): it maintains five markers whose heights
+// approximate the p-quantile of everything ever observed in O(1) memory and
+// O(1) time per observation — the bounded estimator the Prometheus /metrics
+// summary quantiles are computed with, where keeping (or even windowing)
+// raw samples per endpoint would not survive months of uptime.
+//
+// The estimate converges to the true quantile for stationary inputs; for
+// the monitoring use case its few-percent transient error is irrelevant —
+// what matters is that memory and per-observation cost are constant.
+//
+// The zero value is not usable; construct with NewP2Quantile. P2Quantile is
+// not safe for concurrent use; callers guard it with their own lock.
+type P2Quantile struct {
+	p    float64
+	n    int64
+	init []float64  // first five observations, before the markers exist
+	q    [5]float64 // marker heights
+	pos  [5]float64 // actual marker positions (1-based)
+	des  [5]float64 // desired marker positions
+	inc  [5]float64 // desired-position increment per observation
+}
+
+// NewP2Quantile builds an estimator for the p-quantile, p in (0,1), e.g.
+// 0.99 for the p99.
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic("metrics: P2 quantile must be in (0,1)")
+	}
+	e := &P2Quantile{p: p, init: make([]float64, 0, 5)}
+	e.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+// Quantile returns the quantile the estimator tracks.
+func (e *P2Quantile) Quantile() float64 { return e.p }
+
+// Count returns the number of observations.
+func (e *P2Quantile) Count() int64 { return e.n }
+
+// Observe feeds one observation.
+func (e *P2Quantile) Observe(x float64) {
+	e.n++
+	if e.n <= 5 {
+		e.init = append(e.init, x)
+		if e.n == 5 {
+			sort.Float64s(e.init)
+			for i := 0; i < 5; i++ {
+				e.q[i] = e.init[i]
+				e.pos[i] = float64(i + 1)
+				e.des[i] = 1 + e.inc[i]*4
+			}
+			e.init = nil
+		}
+		return
+	}
+
+	// Locate the cell x falls into, extending the extreme markers.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.des[i] += e.inc[i]
+	}
+
+	// Adjust the three interior markers towards their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.des[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			qn := e.parabolic(i, s)
+			if !(e.q[i-1] < qn && qn < e.q[i+1]) {
+				qn = e.linear(i, s)
+			}
+			e.q[i] = qn
+			e.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the piecewise-parabolic (P²) height prediction for moving
+// marker i by d (±1).
+func (e *P2Quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback height prediction when the parabola would break
+// marker monotonicity.
+func (e *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current quantile estimate (0 with no observations).
+// With fewer than five observations it falls back to the exact empirical
+// quantile of what it has.
+func (e *P2Quantile) Value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		sorted := append([]float64(nil), e.init...)
+		sort.Float64s(sorted)
+		idx := int(e.p*float64(len(sorted))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return sorted[idx]
+	}
+	return e.q[2]
+}

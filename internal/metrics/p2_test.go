@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func exactQuantile(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+func TestP2QuantileSmallCounts(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	if e.Value() != 0 || e.Count() != 0 {
+		t.Fatal("empty estimator should be zero")
+	}
+	e.Observe(10)
+	if e.Value() != 10 {
+		t.Fatalf("single sample: %v", e.Value())
+	}
+	e.Observe(30)
+	e.Observe(20)
+	v := e.Value()
+	if v != 20 {
+		t.Fatalf("median of {10,20,30} = %v", v)
+	}
+	if e.Quantile() != 0.5 {
+		t.Fatalf("Quantile = %v", e.Quantile())
+	}
+}
+
+func TestP2QuantileUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+		e := NewP2Quantile(p)
+		xs := make([]float64, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			x := rng.Float64()
+			xs = append(xs, x)
+			e.Observe(x)
+		}
+		want := exactQuantile(xs, p)
+		got := e.Value()
+		// P² over 20k uniform samples is accurate to well under 0.02
+		// absolute for these quantiles.
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("p=%v: estimate %v vs exact %v", p, got, want)
+		}
+		if e.Count() != 20000 {
+			t.Fatalf("Count = %d", e.Count())
+		}
+	}
+}
+
+func TestP2QuantileLogNormalTail(t *testing.T) {
+	// Heavy-tailed latencies are the operational case: the p99 estimate
+	// must land inside the right tail region, not collapse to the median.
+	rng := rand.New(rand.NewSource(11))
+	e := NewP2Quantile(0.99)
+	xs := make([]float64, 0, 50000)
+	for i := 0; i < 50000; i++ {
+		x := math.Exp(rng.NormFloat64())
+		xs = append(xs, x)
+		e.Observe(x)
+	}
+	want := exactQuantile(xs, 0.99)
+	got := e.Value()
+	if got < want*0.7 || got > want*1.3 {
+		t.Fatalf("p99 estimate %v vs exact %v (out of ±30%%)", got, want)
+	}
+}
+
+func TestP2QuantileMonotoneMarkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e := NewP2Quantile(0.95)
+	for i := 0; i < 10000; i++ {
+		e.Observe(rng.ExpFloat64())
+		if e.n >= 5 {
+			for j := 1; j < 5; j++ {
+				if e.q[j] < e.q[j-1] {
+					t.Fatalf("markers out of order after %d obs: %v", i+1, e.q)
+				}
+			}
+		}
+	}
+}
+
+func TestP2QuantileBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewP2Quantile(%v) must panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}

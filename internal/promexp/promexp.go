@@ -1,0 +1,310 @@
+// Package promexp renders metrics in the Prometheus text exposition format
+// (version 0.0.4) without depending on the Prometheus client library, and
+// provides a strict parser of the same format so the exporter's output can
+// be validated in tests and tooling.
+//
+// The model is deliberately small: a Family is one metric name with a HELP
+// string, a TYPE, and its samples; Render writes a slice of families in the
+// canonical layout (HELP and TYPE comments once per family, every sample of
+// a family contiguous); Handler wraps a gather function into an
+// http.Handler for a /metrics endpoint. Validation is strict on the write
+// path too — an invalid metric or label name is a programming error that
+// should fail loudly in tests, not produce output a scraper silently
+// drops.
+package promexp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Type is a metric family's type as declared by the # TYPE comment.
+type Type string
+
+// The family types the exporter emits. (The format also defines histogram
+// and untyped; add them when a producer needs them.)
+const (
+	Counter Type = "counter"
+	Gauge   Type = "gauge"
+	Summary Type = "summary"
+)
+
+// Label is one name="value" pair.
+type Label struct {
+	Name, Value string
+}
+
+// Sample is one time series of a counter or gauge family.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Quantile is one φ-quantile of a summary.
+type Quantile struct {
+	Q     float64 // e.g. 0.99
+	Value float64
+}
+
+// SummarySample is one time series of a summary family: its quantile
+// estimates plus the _sum and _count aggregates.
+type SummarySample struct {
+	Labels    []Label
+	Quantiles []Quantile
+	Sum       float64
+	Count     uint64
+}
+
+// Family is one exported metric: a name, its HELP text, its TYPE, and the
+// samples that share the name. Counter and gauge families fill Samples;
+// summary families fill Summaries.
+type Family struct {
+	Name      string
+	Help      string
+	Type      Type
+	Samples   []Sample
+	Summaries []SummarySample
+}
+
+// ContentType is the Content-Type of a text-format /metrics response.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler wraps gather into an http.Handler serving GET /metrics. Gather
+// runs per request; a render error (invalid names — a programming error)
+// answers 500 with the message.
+func Handler(gather func() []Family) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var buf strings.Builder
+		if err := Render(&buf, gather()); err != nil {
+			http.Error(w, "metrics render: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		_, _ = io.WriteString(w, buf.String())
+	})
+}
+
+// Render writes the families in text exposition format, validating names
+// and label syntax. Families render in the given order; callers that want
+// deterministic output across gathers should sort (see SortFamilies).
+func Render(w io.Writer, families []Family) error {
+	seen := make(map[string]bool, len(families))
+	for _, f := range families {
+		if err := validateFamily(f); err != nil {
+			return err
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("promexp: duplicate family %q", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		switch f.Type {
+		case Summary:
+			for _, s := range f.Summaries {
+				for _, q := range s.Quantiles {
+					labels := append(append([]Label(nil), s.Labels...),
+						Label{Name: "quantile", Value: formatValue(q.Q)})
+					if err := writeSample(w, f.Name, labels, q.Value); err != nil {
+						return err
+					}
+				}
+				if err := writeSample(w, f.Name+"_sum", s.Labels, s.Sum); err != nil {
+					return err
+				}
+				if err := writeSample(w, f.Name+"_count", s.Labels, float64(s.Count)); err != nil {
+					return err
+				}
+			}
+		default:
+			for _, s := range f.Samples {
+				if err := writeSample(w, f.Name, s.Labels, s.Value); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SortFamilies orders families by name and each family's samples by their
+// label signature, giving byte-stable output for a fixed metric state.
+func SortFamilies(families []Family) {
+	sort.Slice(families, func(i, j int) bool { return families[i].Name < families[j].Name })
+	for i := range families {
+		f := &families[i]
+		sort.Slice(f.Samples, func(a, b int) bool {
+			return labelKey(f.Samples[a].Labels) < labelKey(f.Samples[b].Labels)
+		})
+		sort.Slice(f.Summaries, func(a, b int) bool {
+			return labelKey(f.Summaries[a].Labels) < labelKey(f.Summaries[b].Labels)
+		})
+	}
+}
+
+func labelKey(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte('\xff')
+		b.WriteString(l.Value)
+		b.WriteByte('\xfe')
+	}
+	return b.String()
+}
+
+func writeSample(w io.Writer, name string, labels []Label, value float64) error {
+	if _, err := io.WriteString(w, name); err != nil {
+		return err
+	}
+	if len(labels) > 0 {
+		if _, err := io.WriteString(w, "{"); err != nil {
+			return err
+		}
+		for i, l := range labels {
+			sep := ","
+			if i == 0 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(w, `%s%s="%s"`, sep, l.Name, escapeLabelValue(l.Value)); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "}"); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, " %s\n", formatValue(value))
+	return err
+}
+
+// formatValue renders a float the way Prometheus expects, with +Inf/-Inf
+// and NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func validateFamily(f Family) error {
+	if !validMetricName(f.Name) {
+		return fmt.Errorf("promexp: invalid metric name %q", f.Name)
+	}
+	switch f.Type {
+	case Counter, Gauge:
+		if len(f.Summaries) > 0 {
+			return fmt.Errorf("promexp: family %q: %s with summary samples", f.Name, f.Type)
+		}
+	case Summary:
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("promexp: family %q: summary with scalar samples", f.Name)
+		}
+		for _, s := range f.Summaries {
+			for _, q := range s.Quantiles {
+				if q.Q < 0 || q.Q > 1 || math.IsNaN(q.Q) {
+					return fmt.Errorf("promexp: family %q: quantile %v outside [0,1]", f.Name, q.Q)
+				}
+			}
+			if err := validateLabels(f.Name, s.Labels, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("promexp: family %q: unknown type %q", f.Name, f.Type)
+	}
+	for _, s := range f.Samples {
+		if err := validateLabels(f.Name, s.Labels, false); err != nil {
+			return err
+		}
+	}
+	if f.Type == Counter {
+		for _, s := range f.Samples {
+			if s.Value < 0 || math.IsNaN(s.Value) {
+				return fmt.Errorf("promexp: family %q: counter value %v is not a non-negative number", f.Name, s.Value)
+			}
+		}
+	}
+	return nil
+}
+
+func validateLabels(family string, labels []Label, summary bool) error {
+	seen := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		if !validLabelName(l.Name) {
+			return fmt.Errorf("promexp: family %q: invalid label name %q", family, l.Name)
+		}
+		if summary && l.Name == "quantile" {
+			return fmt.Errorf("promexp: family %q: label %q is reserved on summaries", family, l.Name)
+		}
+		if seen[l.Name] {
+			return fmt.Errorf("promexp: family %q: duplicate label %q", family, l.Name)
+		}
+		seen[l.Name] = true
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

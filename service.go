@@ -1,6 +1,7 @@
 package dynppr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -88,6 +89,9 @@ type Service struct {
 	totalLatency atomic.Int64 // nanoseconds
 	vertices     atomic.Int64
 	edges        atomic.Int64
+	// shed counts mutations rejected with ErrOverloaded because the write
+	// queue was full and the caller's admission budget ran out.
+	shed atomic.Int64
 }
 
 type sourceTable map[VertexID]*serviceSource
@@ -118,8 +122,12 @@ type ServiceOptions struct {
 	// PoolWorkers is the number of shard workers pushing sources
 	// concurrently; <= 0 selects GOMAXPROCS.
 	PoolWorkers int
-	// QueueDepth is the capacity of the write pipeline; further mutating
-	// calls block (backpressure). <= 0 selects 64.
+	// QueueDepth is the capacity of the write pipeline. When it is full,
+	// ApplyBatch/AddSource/RemoveSource block (backpressure), the Ctx
+	// variants wait only until their context's deadline, and TryApplyBatch
+	// sheds immediately — both surfacing ErrOverloaded so serving front
+	// ends can turn saturation into load shedding instead of unbounded
+	// latency. <= 0 selects 64.
 	QueueDepth int
 	// TopKCap is the per-source Top-K index depth: TopK reads with
 	// k <= TopKCap are O(k) against the incrementally maintained index
@@ -160,6 +168,12 @@ var (
 	ErrUnknownSource = errors.New("dynppr: source is not tracked")
 	// ErrServiceClosed is returned by every operation after Close.
 	ErrServiceClosed = errors.New("dynppr: service is closed")
+	// ErrOverloaded is returned by TryApplyBatch and the context-aware
+	// mutators when the write pipeline's queue is full and the caller's
+	// admission budget (none, for the Try variants) expires before a slot
+	// frees up. The mutation was NOT journaled and NOT applied: the caller
+	// can safely retry later. Serving front ends map it to 429.
+	ErrOverloaded = errors.New("dynppr: write pipeline is overloaded")
 )
 
 // NewService builds a serving layer over g tracking the given sources,
@@ -314,6 +328,48 @@ func (s *Service) submit(fn func()) error {
 	return nil
 }
 
+// trySubmit enqueues a mutation only if a queue slot is free right now;
+// a full queue sheds the mutation with ErrOverloaded instead of blocking.
+func (s *Service) trySubmit(fn func()) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrServiceClosed
+	}
+	select {
+	case s.work <- fn:
+		return nil
+	default:
+		s.shed.Add(1)
+		return ErrOverloaded
+	}
+}
+
+// submitCtx enqueues a mutation, waiting for a queue slot at most until ctx
+// is done. The context bounds ADMISSION only: once the mutation is enqueued
+// it will run to completion regardless of ctx, so a journaled mutation is
+// never abandoned half-acknowledged. A context that is already done still
+// admits immediately when a slot is free.
+func (s *Service) submitCtx(ctx context.Context, fn func()) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrServiceClosed
+	}
+	select {
+	case s.work <- fn:
+		return nil
+	default:
+	}
+	select {
+	case s.work <- fn:
+		return nil
+	case <-ctx.Done():
+		s.shed.Add(1)
+		return fmt.Errorf("%w: %v", ErrOverloaded, ctx.Err())
+	}
+}
+
 // Close shuts the service down: queued mutations finish, the pipeline and
 // shard workers exit, the write-ahead log (if any) is flushed and closed,
 // and every subsequent operation returns ErrServiceClosed. Reads racing
@@ -347,12 +403,33 @@ func (s *Service) Close() error {
 // later mutation) so the in-memory state never runs ahead of what recovery
 // can reconstruct.
 func (s *Service) ApplyBatch(b Batch) (BatchResult, error) {
+	return s.applyBatch(s.submit, b)
+}
+
+// ApplyBatchCtx is ApplyBatch with bounded admission: if the write queue is
+// full it waits for a slot only until ctx is done, then sheds the batch with
+// ErrOverloaded (wrapping the context's error) without journaling or
+// applying anything. The context bounds admission only — once the batch is
+// admitted the call blocks until the batch is journaled, applied, and
+// published, even past the deadline, so the acknowledgement a caller
+// eventually reads always matches the durable state.
+func (s *Service) ApplyBatchCtx(ctx context.Context, b Batch) (BatchResult, error) {
+	return s.applyBatch(func(fn func()) error { return s.submitCtx(ctx, fn) }, b)
+}
+
+// TryApplyBatch is ApplyBatch with non-blocking admission: a full write
+// queue sheds the batch immediately with ErrOverloaded.
+func (s *Service) TryApplyBatch(b Batch) (BatchResult, error) {
+	return s.applyBatch(s.trySubmit, b)
+}
+
+func (s *Service) applyBatch(admit func(func()) error, b Batch) (BatchResult, error) {
 	type outcome struct {
 		res BatchResult
 		err error
 	}
 	ch := make(chan outcome, 1)
-	if err := s.submit(func() {
+	if err := admit(func() {
 		if err := s.journalBatch(b); err != nil {
 			ch <- outcome{err: err}
 			return
@@ -427,8 +504,18 @@ func (s *Service) allSources() []*serviceSource {
 // (after validation, so the log never records an operation that would fail
 // on replay).
 func (s *Service) AddSource(source VertexID) error {
+	return s.addSource(s.submit, source)
+}
+
+// AddSourceCtx is AddSource with bounded admission (see ApplyBatchCtx for
+// the contract: ctx bounds the wait for a pipeline slot only).
+func (s *Service) AddSourceCtx(ctx context.Context, source VertexID) error {
+	return s.addSource(func(fn func()) error { return s.submitCtx(ctx, fn) }, source)
+}
+
+func (s *Service) addSource(admit func(func()) error, source VertexID) error {
 	res := make(chan error, 1)
-	if err := s.submit(func() {
+	if err := admit(func() {
 		if err := s.validateAddSource(source); err != nil {
 			res <- err
 			return
@@ -495,8 +582,18 @@ func (s *Service) doAddSource(source VertexID) error {
 // reads return ErrUnknownSource. Removing an untracked source is an error.
 // On a persistent service the removal is journaled after validation.
 func (s *Service) RemoveSource(source VertexID) error {
+	return s.removeSource(s.submit, source)
+}
+
+// RemoveSourceCtx is RemoveSource with bounded admission (see ApplyBatchCtx
+// for the contract: ctx bounds the wait for a pipeline slot only).
+func (s *Service) RemoveSourceCtx(ctx context.Context, source VertexID) error {
+	return s.removeSource(func(fn func()) error { return s.submitCtx(ctx, fn) }, source)
+}
+
+func (s *Service) removeSource(admit func(func()) error, source VertexID) error {
 	res := make(chan error, 1)
-	if err := s.submit(func() {
+	if err := admit(func() {
 		// The lookup doubles as pre-journal validation: an untracked source
 		// is rejected before anything reaches the WAL.
 		src, ok := (*s.table.Load())[source]
@@ -724,8 +821,12 @@ type ServiceStats struct {
 	// UpdatesApplied and UpdatesSkipped count effective and no-op updates.
 	UpdatesApplied int64
 	UpdatesSkipped int64
-	// QueueDepth is the number of mutations waiting in the pipeline.
+	// QueueDepth is the number of mutations waiting in the pipeline and
+	// QueueCap the pipeline's bounded capacity (ServiceOptions.QueueDepth).
 	QueueDepth int
+	QueueCap   int
+	// Shed counts mutations rejected with ErrOverloaded at admission.
+	Shed int64
 	// LastBatchLatency and TotalBatchLatency time the restore+push+publish
 	// pipeline (not the queueing delay).
 	LastBatchLatency  time.Duration
@@ -740,6 +841,37 @@ type ServiceStats struct {
 	// Persistence reports the durability layer's state; nil for an
 	// in-memory service.
 	Persistence *PersistenceStats
+}
+
+// QueueStats is the cheap, allocation-free subset of ServiceStats the
+// admission-control hot path needs: serving front ends read it on every
+// overload response to compute a Retry-After hint, so it must not walk the
+// source table the way Stats does.
+type QueueStats struct {
+	// Depth is the number of queued mutations; Cap the queue's capacity.
+	Depth, Cap int
+	// Shed counts mutations rejected with ErrOverloaded at admission.
+	Shed int64
+	// LastBatchLatency and AvgBatchLatency time the restore+push+publish
+	// pipeline of recent batches (not the queueing delay); together with
+	// Depth they estimate how long a full queue takes to drain.
+	LastBatchLatency time.Duration
+	AvgBatchLatency  time.Duration
+}
+
+// Queue returns the pipeline's admission statistics. It is safe to call
+// concurrently with reads and writes and performs no allocation.
+func (s *Service) Queue() QueueStats {
+	qs := QueueStats{
+		Depth:            len(s.work),
+		Cap:              cap(s.work),
+		Shed:             s.shed.Load(),
+		LastBatchLatency: time.Duration(s.lastLatency.Load()),
+	}
+	if n := s.batches.Load(); n > 0 {
+		qs.AvgBatchLatency = time.Duration(s.totalLatency.Load() / n)
+	}
+	return qs
 }
 
 // AvgBatchLatency returns the mean per-batch pipeline latency.
@@ -759,6 +891,8 @@ func (s *Service) Stats() ServiceStats {
 		UpdatesApplied:    s.applied.Load(),
 		UpdatesSkipped:    s.skipped.Load(),
 		QueueDepth:        len(s.work),
+		QueueCap:          cap(s.work),
+		Shed:              s.shed.Load(),
 		LastBatchLatency:  time.Duration(s.lastLatency.Load()),
 		TotalBatchLatency: time.Duration(s.totalLatency.Load()),
 		Vertices:          int(s.vertices.Load()),

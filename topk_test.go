@@ -1,6 +1,8 @@
 package dynppr_test
 
 import (
+	"errors"
+	"net/http"
 	"net/http/httptest"
 	"sort"
 	"testing"
@@ -135,16 +137,23 @@ func TestTopKTableAcrossLayers(t *testing.T) {
 				assertEqual(t, "service", k, gotSvc, wantSvc)
 
 				// HTTP: the wire result must match the service exactly.
+				// The wire contract diverges from the library on k=0:
+				// in-process TopK(0) returns nil, but the endpoint
+				// rejects non-positive k as a client error.
 				gotHTTP, err := client.TopK(tc.source, k)
+				if k == 0 {
+					var apiErr *httpapi.APIError
+					if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+						t.Fatalf("httpapi k=0: got (%+v, %v), want 400", gotHTTP, err)
+					}
+					continue
+				}
 				if err != nil {
 					t.Fatal(err)
 				}
 				wire := make([]dynppr.VertexScore, len(gotHTTP.Results))
 				for i, vs := range gotHTTP.Results {
 					wire[i] = dynppr.VertexScore{Vertex: vs.Vertex, Score: vs.Score}
-				}
-				if k == 0 && len(wire) == 0 {
-					wire = nil
 				}
 				assertEqual(t, "httpapi", k, wire, wantSvc)
 				if gotHTTP.Snapshot.Epoch != 1 || !gotHTTP.Snapshot.Converged {
