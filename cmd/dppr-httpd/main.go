@@ -16,6 +16,7 @@
 //	dppr-httpd -addr 127.0.0.1:9090 -vertices 5000 -edges 100000 -epsilon 1e-5
 //	dppr-httpd -input edges.txt -sources 4 -engine sequential
 //	dppr-httpd -data-dir /var/lib/dppr -fsync always -checkpoint-every 5m
+//	dppr-httpd -ondemand -ondemand-eps 1e-4 -promote-after 16 -max-auto-sources 32
 package main
 
 import (
@@ -70,6 +71,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		noCoalesce = fs.Bool("no-coalesce", false, "disable coalescing of identical concurrent /topk reads")
 		noMetrics  = fs.Bool("no-metrics", false, "disable the GET /metrics Prometheus endpoint")
 		pprofOn    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (expose only on trusted networks)")
+
+		onDemand   = fs.Bool("ondemand", false, "answer reads for untracked sources with bounded approximate PPR instead of 404")
+		odEps      = fs.Float64("ondemand-eps", 1e-4, "push residual threshold for on-demand queries (coarser than -epsilon)")
+		odWalks    = fs.Int("ondemand-walks", 0, "Monte-Carlo refinement walks per on-demand query (0 = push only)")
+		promoteAft = fs.Int("promote-after", 0, "promote an untracked source to live tracking after this many queries (0 = never)")
+		maxAuto    = fs.Int("max-auto-sources", 64, "cap on auto-promoted sources; the coldest is evicted at capacity")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +88,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	so.Options.Parallelism = *par
 	so.PoolWorkers = *pool
 	so.QueueDepth = *queue
+	so.OnDemand = dynppr.OnDemandOptions{
+		Enabled:        *onDemand,
+		Epsilon:        *odEps,
+		RefineWalks:    *odWalks,
+		Seed:           *seed,
+		PromoteAfter:   *promoteAft,
+		MaxAutoSources: *maxAuto,
+	}
 	var err error
 	if so.Options.Engine, err = dynppr.ParseEngineKind(*engine); err != nil {
 		return err
@@ -155,6 +170,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	q := svc.Queue()
 	fmt.Fprintf(out, "admission: queue=%d rate-limit=%g rate-burst=%d coalesce=%t metrics=%t pprof=%t\n",
 		q.Cap, *rateLimit, *rateBurst, !*noCoalesce, !*noMetrics, *pprofOn)
+	if *onDemand {
+		fmt.Fprintf(out, "ondemand: eps=%.0e walks=%d promote-after=%d max-auto-sources=%d\n",
+			*odEps, *odWalks, *promoteAft, *maxAuto)
+	}
 	fmt.Fprintf(out, "listening on %s\n", srv.URL())
 
 	// Periodic checkpointing bounds how much WAL a crash would replay.

@@ -22,11 +22,24 @@
 // the run fail, so the tool doubles as an end-to-end correctness check
 // under load.
 //
+// Long tail (-zipf > 1): read-query sources are drawn Zipf-distributed over
+// the whole vertex set instead of round-robin over the tracked sources — the
+// workload shape on-demand serving exists for. A few hot sources dominate
+// (and should get promoted to tracked state when the server runs
+// -promote-after) while a long tail of cold sources exercises the
+// approximate path. Approximate answers must advertise a positive error
+// bound; a 404 is a failure, so the run doubles as an SLO check that an
+// on-demand server never turns an untracked read into an error. Epoch
+// monotonicity is not checked in this mode: promotion and eviction
+// legitimately move a source between the tracked path (live epochs) and the
+// on-demand path (synthesized epoch 0).
+//
 // Usage:
 //
 //	dppr-loadgen -addr http://127.0.0.1:8080 -clients 64 -duration 30s
 //	dppr-loadgen -addr http://127.0.0.1:8080 -clients 128 -requests 500 -write 0
 //	dppr-loadgen -addr http://127.0.0.1:8080 -arrival 500 -duration 10s -max-p99 250ms -expect-shed
+//	dppr-loadgen -addr http://127.0.0.1:8080 -zipf 1.3 -clients 32 -requests 200 -write 0
 package main
 
 import (
@@ -78,6 +91,8 @@ const maxInFlight = 8192
 type clientResult struct {
 	lat        [numClasses]metrics.LatencyStats
 	shed       [numClasses]int64
+	approx     int64
+	exact      int64
 	errors     []error
 	violations []string
 }
@@ -94,6 +109,7 @@ type config struct {
 	arrival    float64
 	maxP99     time.Duration
 	expectShed bool
+	zipf       float64
 }
 
 // parseFlags resolves the command line into the load configuration and the
@@ -117,6 +133,7 @@ func parseFlags(args []string) (config, string, error) {
 		arrival    = fs.Float64("arrival", 0, "open-loop mode: fixed request arrival rate in req/s (0 = closed loop)")
 		maxP99     = fs.Duration("max-p99", 0, "fail when the read p99 of successful requests exceeds this (0 = no gate)")
 		expectShed = fs.Bool("expect-shed", false, "tolerate 429 responses as shed load and fail unless at least one occurred")
+		zipf       = fs.Float64("zipf", 0, "long-tail mode: draw read sources Zipf(s)-distributed over all vertices (0 = tracked sources only; requires s > 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return config{}, "", err
@@ -133,6 +150,7 @@ func parseFlags(args []string) (config, string, error) {
 		arrival:    *arrival,
 		maxP99:     *maxP99,
 		expectShed: *expectShed,
+		zipf:       *zipf,
 	}
 	if cfg.clients < 1 {
 		return config{}, "", fmt.Errorf("-clients must be at least 1")
@@ -142,6 +160,9 @@ func parseFlags(args []string) (config, string, error) {
 	}
 	if cfg.arrival < 0 {
 		return config{}, "", fmt.Errorf("-arrival must be non-negative")
+	}
+	if cfg.zipf != 0 && cfg.zipf <= 1 {
+		return config{}, "", fmt.Errorf("-zipf exponent must be > 1 (got %g)", cfg.zipf)
 	}
 	total := 0
 	for _, w := range cfg.weights {
@@ -201,6 +222,9 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "target=%s clients=%d sources=%d vertices=%d mix topk:estimate:batchread:write = %d:%d:%d:%d\n",
 		addr, cfg.clients, len(sources), vertices,
 		cfg.weights[opTopK], cfg.weights[opEstimate], cfg.weights[opBatchRead], cfg.weights[opWrite])
+	if cfg.zipf > 0 {
+		fmt.Fprintf(out, "long tail: read sources ~ Zipf(%g) over all %d vertices\n", cfg.zipf, vertices)
+	}
 
 	deadline := time.Time{}
 	if cfg.requests <= 0 {
@@ -250,16 +274,36 @@ func pickClass(rng *rand.Rand, weights [numClasses]int) opClass {
 	return class
 }
 
+// newZipf builds the long-tail source distribution for one rng, or nil when
+// -zipf is off. Low vertex IDs are the hot head of the tail; with the server
+// promoting after -promote-after queries they are the ones that should end
+// up tracked.
+func newZipf(rng *rand.Rand, cfg config, vertices int) *rand.Zipf {
+	if cfg.zipf == 0 {
+		return nil
+	}
+	return rand.NewZipf(rng, cfg.zipf, 1, uint64(vertices-1))
+}
+
+// pickSource draws a read-query source: Zipf over the whole vertex set in
+// long-tail mode, uniform over the tracked sources otherwise.
+func pickSource(rng *rand.Rand, z *rand.Zipf, sources []dynppr.VertexID) dynppr.VertexID {
+	if z != nil {
+		return dynppr.VertexID(z.Uint64())
+	}
+	return sources[rng.Intn(len(sources))]
+}
+
 // genOp draws one request of the configured mix.
-func genOp(rng *rand.Rand, cfg config, sources []dynppr.VertexID, vertices int) op {
-	o := op{class: pickClass(rng, cfg.weights), source: sources[rng.Intn(len(sources))]}
+func genOp(rng *rand.Rand, z *rand.Zipf, cfg config, sources []dynppr.VertexID, vertices int) op {
+	o := op{class: pickClass(rng, cfg.weights), source: pickSource(rng, z, sources)}
 	switch o.class {
 	case opEstimate:
 		o.vertex = dynppr.VertexID(rng.Intn(vertices))
 	case opBatchRead:
 		o.queries = make([]httpapi.Query, cfg.reads)
 		for q := range o.queries {
-			s := sources[rng.Intn(len(sources))]
+			s := pickSource(rng, z, sources)
 			if q%2 == 0 {
 				o.queries[q] = httpapi.Query{Kind: httpapi.KindTopK, Source: s, K: cfg.k}
 			} else {
@@ -286,19 +330,49 @@ func genOp(rng *rand.Rand, cfg config, sources []dynppr.VertexID, vertices int) 
 	return o
 }
 
-// execOp performs one request and returns the snapshot metadata of every
-// read it served, plus inline per-query errors from batched reads.
-func execOp(client *httpapi.Client, cfg config, o op) (metas []httpapi.SnapshotMeta, inline []string, err error) {
+// readOutcome is everything one request contributes to the contract checks:
+// the snapshot metadata of each read it served, how many answers came from
+// the exact versus the on-demand approximate path, and inline violations
+// (batched per-query errors, approximate answers without an error bound).
+type readOutcome struct {
+	metas  []httpapi.SnapshotMeta
+	approx int64
+	exact  int64
+	inline []string
+}
+
+// observe validates one read answer's approx/epsilon contract and files its
+// snapshot metadata.
+func (ro *readOutcome) observe(meta httpapi.SnapshotMeta, approx bool, epsilon float64) {
+	ro.metas = append(ro.metas, meta)
+	if !approx {
+		ro.exact++
+		return
+	}
+	ro.approx++
+	// epsilon 0 is a truthful bound (the push drained fully, e.g. a source
+	// no other vertex can reach), but a negative or >= 1 bound is vacuous:
+	// every PPR value lies in [0, 1].
+	if epsilon < 0 || epsilon >= 1 {
+		ro.inline = append(ro.inline,
+			fmt.Sprintf("source %d: approximate answer with an unusable error bound (epsilon %g)",
+				meta.Source, epsilon))
+	}
+}
+
+// execOp performs one request and returns what its responses contribute to
+// the serving-contract checks.
+func execOp(client *httpapi.Client, cfg config, o op) (ro readOutcome, err error) {
 	switch o.class {
 	case opTopK:
 		var top httpapi.TopKResult
 		if top, err = client.TopK(o.source, cfg.k); err == nil {
-			metas = append(metas, top.Snapshot)
+			ro.observe(top.Snapshot, top.Approx, top.Epsilon)
 		}
 	case opEstimate:
 		var est httpapi.EstimateResult
 		if est, err = client.Estimate(o.source, o.vertex); err == nil {
-			metas = append(metas, est.Snapshot)
+			ro.observe(est.Snapshot, est.Approx, est.Epsilon)
 		}
 	case opBatchRead:
 		var batch []httpapi.QueryResult
@@ -306,18 +380,18 @@ func execOp(client *httpapi.Client, cfg config, o op) (metas []httpapi.SnapshotM
 			for _, r := range batch {
 				switch {
 				case r.TopK != nil:
-					metas = append(metas, r.TopK.Snapshot)
+					ro.observe(r.TopK.Snapshot, r.TopK.Approx, r.TopK.Epsilon)
 				case r.Estimate != nil:
-					metas = append(metas, r.Estimate.Snapshot)
+					ro.observe(r.Estimate.Snapshot, r.Estimate.Approx, r.Estimate.Epsilon)
 				default:
-					inline = append(inline, fmt.Sprintf("batched query failed inline: %s", r.Error))
+					ro.inline = append(ro.inline, fmt.Sprintf("batched query failed inline: %s", r.Error))
 				}
 			}
 		}
 	case opWrite:
 		_, err = client.ApplyEdges(o.updates)
 	}
-	return metas, inline, err
+	return ro, err
 }
 
 // checkConverged validates the stateless half of the serving contract.
@@ -335,15 +409,16 @@ func runClient(id int, cfg config, addr string, hc *http.Client,
 	sources []dynppr.VertexID, vertices int, deadline time.Time, res *clientResult) {
 	client := httpapi.NewClient(addr, hc)
 	rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
+	z := newZipf(rng, cfg, vertices)
 	epochs := make(map[dynppr.VertexID]uint64, len(sources))
 
 	for i := 0; cfg.requests <= 0 || i < cfg.requests; i++ {
 		if cfg.requests <= 0 && !time.Now().Before(deadline) {
 			return
 		}
-		o := genOp(rng, cfg, sources, vertices)
+		o := genOp(rng, z, cfg, sources, vertices)
 		start := time.Now()
-		metas, inline, err := execOp(client, cfg, o)
+		ro, err := execOp(client, cfg, o)
 		if err != nil {
 			if cfg.tolerateShed() && httpapi.IsOverloaded(err) {
 				res.shed[o.class]++
@@ -353,18 +428,24 @@ func runClient(id int, cfg config, addr string, hc *http.Client,
 			continue
 		}
 		res.lat[o.class].Observe(time.Since(start))
-		res.violations = append(res.violations, inline...)
-		for _, m := range metas {
+		res.approx += ro.approx
+		res.exact += ro.exact
+		res.violations = append(res.violations, ro.inline...)
+		for _, m := range ro.metas {
 			if msg, ok := checkConverged(m); !ok {
 				res.violations = append(res.violations, msg)
 			}
 			// One client's requests are sequential, so the epoch it observes
-			// per source must be monotone.
-			if last, ok := epochs[m.Source]; ok && m.Epoch < last {
-				res.violations = append(res.violations,
-					fmt.Sprintf("source %d: epoch went backwards %d -> %d", m.Source, last, m.Epoch))
+			// per source must be monotone. Not in long-tail mode: promotion
+			// and eviction legitimately move a source between live epochs and
+			// the on-demand path's synthesized epoch 0.
+			if cfg.zipf == 0 {
+				if last, ok := epochs[m.Source]; ok && m.Epoch < last {
+					res.violations = append(res.violations,
+						fmt.Sprintf("source %d: epoch went backwards %d -> %d", m.Source, last, m.Epoch))
+				}
+				epochs[m.Source] = m.Epoch
 			}
-			epochs[m.Source] = m.Epoch
 		}
 	}
 }
@@ -379,6 +460,7 @@ func runOpenLoop(cfg config, addr string, hc *http.Client,
 	sources []dynppr.VertexID, vertices int) (*clientResult, int64, time.Duration) {
 	client := httpapi.NewClient(addr, hc)
 	rng := rand.New(rand.NewSource(cfg.seed))
+	z := newZipf(rng, cfg, vertices)
 	res := &clientResult{}
 	var mu sync.Mutex
 	var drops int64
@@ -400,7 +482,7 @@ func runOpenLoop(cfg config, addr string, hc *http.Client,
 		if d := time.Until(start.Add(time.Duration(issued) * interval)); d > 0 {
 			time.Sleep(d)
 		}
-		o := genOp(rng, cfg, sources, vertices)
+		o := genOp(rng, z, cfg, sources, vertices)
 		select {
 		case sem <- struct{}{}:
 		default:
@@ -412,7 +494,7 @@ func runOpenLoop(cfg config, addr string, hc *http.Client,
 			defer wg.Done()
 			defer func() { <-sem }()
 			reqStart := time.Now()
-			metas, inline, err := execOp(client, cfg, o)
+			ro, err := execOp(client, cfg, o)
 			elapsed := time.Since(reqStart)
 			mu.Lock()
 			defer mu.Unlock()
@@ -425,8 +507,10 @@ func runOpenLoop(cfg config, addr string, hc *http.Client,
 				return
 			}
 			res.lat[o.class].Observe(elapsed)
-			res.violations = append(res.violations, inline...)
-			for _, m := range metas {
+			res.approx += ro.approx
+			res.exact += ro.exact
+			res.violations = append(res.violations, ro.inline...)
+			for _, m := range ro.metas {
 				if msg, ok := checkConverged(m); !ok {
 					res.violations = append(res.violations, msg)
 				}
@@ -440,6 +524,7 @@ func runOpenLoop(cfg config, addr string, hc *http.Client,
 func report(out io.Writer, cfg config, results []*clientResult, drops int64, elapsed time.Duration) error {
 	var merged [numClasses]metrics.LatencyStats
 	var shed [numClasses]int64
+	var approx, exact int64
 	var errs []error
 	var violations []string
 	for _, res := range results {
@@ -447,6 +532,8 @@ func report(out io.Writer, cfg config, results []*clientResult, drops int64, ela
 			merged[c].AddAll(&res.lat[c])
 			shed[c] += res.shed[c]
 		}
+		approx += res.approx
+		exact += res.exact
 		errs = append(errs, res.errors...)
 		violations = append(violations, res.violations...)
 	}
@@ -480,6 +567,9 @@ func report(out io.Writer, cfg config, results []*clientResult, drops int64, ela
 	}
 	if drops > 0 {
 		fmt.Fprintf(out, "dropped at client (in-flight cap %d): %d\n", maxInFlight, drops)
+	}
+	if cfg.zipf > 0 || approx > 0 {
+		fmt.Fprintf(out, "read answers: %d exact, %d approximate (on-demand)\n", exact, approx)
 	}
 	fmt.Fprintf(out, "non-2xx or transport errors: %d\n", len(errs))
 	fmt.Fprintf(out, "snapshot contract violations: %d\n", len(violations))

@@ -157,6 +157,90 @@ func TestLoadgenOpenLoopOverload(t *testing.T) {
 	}
 }
 
+// startOnDemandServer brings up a server that answers untracked sources via
+// the on-demand path and promotes sources queried at least 5 times.
+func startOnDemandServer(t *testing.T) string {
+	t.Helper()
+	edges, err := dynppr.GenerateEdges(dynppr.SyntheticConfig{
+		Model: dynppr.ModelRMAT, Vertices: 200, Edges: 1500, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dynppr.GraphFromEdges(edges)
+	sources := g.TopDegreeVertices(3)
+	so := dynppr.DefaultServiceOptions()
+	so.Options.Epsilon = 1e-4
+	so.Options.Workers = 2
+	so.PoolWorkers = 2
+	so.OnDemand = dynppr.OnDemandOptions{
+		Enabled: true, Epsilon: 1e-3, Seed: 4,
+		PromoteAfter: 5, MaxAutoSources: 8,
+	}
+	svc, err := dynppr.NewService(g, sources, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	srv := httpapi.NewServer(svc, httpapi.ServerOptions{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Wait() })
+	t.Cleanup(func() { srv.Shutdown(t.Context()) })
+	return srv.URL()
+}
+
+// TestLoadgenZipfLongTail drives the Zipf read mix into an on-demand server:
+// every request must succeed (an untracked source is never a 404), cold
+// sources are answered approximately with a positive error bound, and the
+// hot head of the tail gets promoted so some reads come back exact.
+func TestLoadgenZipfLongTail(t *testing.T) {
+	base := startOnDemandServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", base, "-clients", "8", "-requests", "40", "-write", "0",
+		"-zipf", "1.4", "-seed", "6",
+	}, &out)
+	if err != nil {
+		t.Fatalf("zipf run failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"long tail: read sources ~ Zipf(1.4) over all",
+		"read answers:",
+		"approximate (on-demand)",
+		"non-2xx or transport errors: 0",
+		"snapshot contract violations: 0",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// The Zipf head concentrates on low vertex IDs: with PromoteAfter 5 and
+	// 320 reads, at least some answers must have come from each path.
+	if strings.Contains(out.String(), "read answers: 0 exact") {
+		t.Fatalf("no exact answers — promotion never happened:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), ", 0 approximate") {
+		t.Fatalf("no approximate answers — the tail never left the tracked set:\n%s", out.String())
+	}
+}
+
+// TestLoadgenZipfRejectsUntrackedServer asserts the failure mode the SLO
+// exists for: the same Zipf mix against a server without on-demand serving
+// turns cold sources into 404s and the run must fail.
+func TestLoadgenZipfRejectsUntrackedServer(t *testing.T) {
+	base := startServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", base, "-clients", "4", "-requests", "20", "-write", "0",
+		"-zipf", "1.4", "-seed", "6",
+	}, &out)
+	if err == nil {
+		t.Fatalf("zipf run against a 404-ing server must fail:\n%s", out.String())
+	}
+}
+
 // TestLoadgenP99Gate asserts the SLO gate fires on an impossible target.
 func TestLoadgenP99Gate(t *testing.T) {
 	base := startServer(t)
@@ -178,6 +262,8 @@ func TestLoadgenFlagErrors(t *testing.T) {
 		{"-reads", "0"},
 		{"-topk", "0", "-estimate", "0", "-batchread", "0", "-write", "0"},
 		{"-topk", "-1"},
+		{"-zipf", "1"},
+		{"-zipf", "0.8"},
 	} {
 		if err := run(args, &out); err == nil {
 			t.Fatalf("args %v must fail", args)

@@ -56,18 +56,26 @@ type VertexScore struct {
 }
 
 // TopKResult answers a top-k query: the ranking and the snapshot it came
-// from.
+// from. Approx marks an answer computed by the on-demand path for an
+// untracked source; Epsilon is then the achieved absolute error bound of
+// every score (tracked answers carry their bound in Snapshot.Epsilon
+// instead, and Snapshot.Epoch 0 marks a synthesized on-demand snapshot).
 type TopKResult struct {
 	Snapshot SnapshotMeta  `json:"snapshot"`
 	K        int           `json:"k"`
 	Results  []VertexScore `json:"results"`
+	Approx   bool          `json:"approx,omitempty"`
+	Epsilon  float64       `json:"epsilon,omitempty"`
 }
 
-// EstimateResult answers an estimate query.
+// EstimateResult answers an estimate query. Approx/Epsilon follow the
+// TopKResult contract.
 type EstimateResult struct {
 	Snapshot SnapshotMeta    `json:"snapshot"`
 	Vertex   dynppr.VertexID `json:"vertex"`
 	Score    float64         `json:"score"`
+	Approx   bool            `json:"approx,omitempty"`
+	Epsilon  float64         `json:"epsilon,omitempty"`
 }
 
 // Query is one element of a batched read request.
@@ -87,11 +95,15 @@ type QueryRequest struct {
 }
 
 // QueryResult is the outcome of one query of a batch: exactly one of TopK,
-// Estimate or Error is set.
+// Estimate or Error is set. Status carries the HTTP status the same query
+// would have received on its dedicated endpoint (404 for an untracked
+// source, 400 for a malformed query, ...); it is set only alongside Error —
+// successful queries leave it 0.
 type QueryResult struct {
 	TopK     *TopKResult     `json:"topk,omitempty"`
 	Estimate *EstimateResult `json:"estimate,omitempty"`
 	Error    string          `json:"error,omitempty"`
+	Status   int             `json:"status,omitempty"`
 }
 
 // QueryResponse is the body answering POST /query, results in request order.
@@ -194,6 +206,19 @@ type PersistenceStats struct {
 	Failed string `json:"failed,omitempty"`
 }
 
+// OnDemandStats is the wire form of dynppr.OnDemandStats.
+type OnDemandStats struct {
+	Queries        int64 `json:"queries"`
+	Walks          int64 `json:"walks"`
+	SnapshotBuilds int64 `json:"snapshot_builds"`
+	Promotions     int64 `json:"promotions"`
+	Evictions      int64 `json:"evictions"`
+	Candidates     int   `json:"candidates"`
+	AutoSources    int   `json:"auto_sources"`
+	LastMicros     int64 `json:"last_micros"`
+	TotalMicros    int64 `json:"total_micros"`
+}
+
 // SourceStats is the wire form of dynppr.SourceStats.
 type SourceStats struct {
 	Source      dynppr.VertexID `json:"source"`
@@ -226,6 +251,8 @@ type ServiceStats struct {
 	PoolWorkers      int           `json:"pool_workers"`
 	// Persistence is nil when the service runs without a data directory.
 	Persistence *PersistenceStats `json:"persistence,omitempty"`
+	// OnDemand is nil when the on-demand query path is disabled.
+	OnDemand *OnDemandStats `json:"ondemand,omitempty"`
 }
 
 func serviceStats(st dynppr.ServiceStats) ServiceStats {
@@ -251,6 +278,19 @@ func serviceStats(st dynppr.ServiceStats) ServiceStats {
 			LastCheckpointLSN: p.LastCheckpointLSN,
 			Checkpoints:       p.Checkpoints,
 			Failed:            p.Failed,
+		}
+	}
+	if od := st.OnDemand; od != nil {
+		out.OnDemand = &OnDemandStats{
+			Queries:        od.Queries,
+			Walks:          od.Walks,
+			SnapshotBuilds: od.SnapshotBuilds,
+			Promotions:     od.Promotions,
+			Evictions:      od.Evictions,
+			Candidates:     od.Candidates,
+			AutoSources:    od.AutoSources,
+			LastMicros:     od.LastLatency.Microseconds(),
+			TotalMicros:    od.TotalLatency.Microseconds(),
 		}
 	}
 	for _, ss := range st.Sources {

@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -102,7 +103,7 @@ func TestHandlerCoalescesInFlightTopK(t *testing.T) {
 		leaderVal, _, _ = h.flights.do(key, func() (any, error) {
 			close(started)
 			<-release
-			return h.topK(source, 25)
+			return h.topK(context.Background(), source, 25)
 		})
 	}()
 	<-started

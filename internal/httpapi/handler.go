@@ -391,30 +391,46 @@ func (h *Handler) handleSources(r *http.Request) (any, error) {
 	}
 }
 
-func (h *Handler) topK(source dynppr.VertexID, k int) (*TopKResult, error) {
+// topK serves one ranking read through the service's unified query path: a
+// tracked source reads its converged snapshot, an untracked one falls back
+// to the on-demand approximate path when the service has it enabled (the
+// response then carries approx: true and the achieved error bound) and to a
+// 404 otherwise. ctx bounds only the pipeline admission an on-demand answer
+// may need (snapshot refresh, promotion); tracked reads never block on it.
+func (h *Handler) topK(ctx context.Context, source dynppr.VertexID, k int) (*TopKResult, error) {
 	if k <= 0 {
 		return nil, badRequest("k must be positive, got %d", k)
 	}
 	if k > maxTopK {
 		return nil, badRequest("k %d exceeds the maximum %d", k, maxTopK)
 	}
-	top, info, err := h.svc.TopKInfo(source, k)
+	top, qi, err := h.svc.QueryTopKCtx(ctx, source, k)
 	if err != nil {
 		return nil, err
 	}
-	res := &TopKResult{Snapshot: snapshotMeta(info), K: k, Results: make([]VertexScore, len(top))}
+	res := &TopKResult{Snapshot: snapshotMeta(qi.Snapshot), K: k, Results: make([]VertexScore, len(top))}
 	for i, vs := range top {
 		res.Results[i] = VertexScore{Vertex: vs.Vertex, Score: vs.Score}
+	}
+	if qi.Approx {
+		res.Approx = true
+		res.Epsilon = qi.Epsilon
 	}
 	return res, nil
 }
 
-func (h *Handler) estimate(source, v dynppr.VertexID) (*EstimateResult, error) {
-	est, info, err := h.svc.EstimateInfo(source, v)
+// estimate follows the same unified path as topK.
+func (h *Handler) estimate(ctx context.Context, source, v dynppr.VertexID) (*EstimateResult, error) {
+	est, qi, err := h.svc.QueryEstimateCtx(ctx, source, v)
 	if err != nil {
 		return nil, err
 	}
-	return &EstimateResult{Snapshot: snapshotMeta(info), Vertex: v, Score: est}, nil
+	res := &EstimateResult{Snapshot: snapshotMeta(qi.Snapshot), Vertex: v, Score: est}
+	if qi.Approx {
+		res.Approx = true
+		res.Epsilon = qi.Epsilon
+	}
+	return res, nil
 }
 
 // handleTopK answers one ranking read. Identical concurrent requests (same
@@ -430,12 +446,14 @@ func (h *Handler) handleTopK(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := h.admissionCtx(r)
+	defer cancel()
 	if h.opts.DisableCoalesce {
-		return h.topK(source, k)
+		return h.topK(ctx, source, k)
 	}
 	key := strconv.Itoa(int(source)) + "/" + strconv.Itoa(k)
 	val, shared, err := h.flights.do(key, func() (any, error) {
-		return h.topK(source, k)
+		return h.topK(ctx, source, k)
 	})
 	if shared {
 		h.metrics.coalesced.Add(1)
@@ -452,7 +470,9 @@ func (h *Handler) handleEstimate(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return h.estimate(source, v)
+	ctx, cancel := h.admissionCtx(r)
+	defer cancel()
+	return h.estimate(ctx, source, v)
 }
 
 // handleQuery answers a batch of reads in one round trip. The batch is not a
@@ -467,6 +487,8 @@ func (h *Handler) handleQuery(r *http.Request) (any, error) {
 	if len(req.Queries) == 0 {
 		return nil, badRequest("empty query batch")
 	}
+	ctx, cancel := h.admissionCtx(r)
+	defer cancel()
 	resp := QueryResponse{Results: make([]QueryResult, len(req.Queries))}
 	for i, q := range req.Queries {
 		var res QueryResult
@@ -476,21 +498,24 @@ func (h *Handler) handleQuery(r *http.Request) (any, error) {
 			if k == 0 {
 				k = defaultTopK
 			}
-			top, err := h.topK(q.Source, k)
+			top, err := h.topK(ctx, q.Source, k)
 			if err != nil {
 				res.Error = err.Error()
+				res.Status = errorStatus(err)
 			} else {
 				res.TopK = top
 			}
 		case KindEstimate:
-			est, err := h.estimate(q.Source, q.Vertex)
+			est, err := h.estimate(ctx, q.Source, q.Vertex)
 			if err != nil {
 				res.Error = err.Error()
+				res.Status = errorStatus(err)
 			} else {
 				res.Estimate = est
 			}
 		default:
 			res.Error = fmt.Sprintf("unknown query kind %q (want %q or %q)", q.Kind, KindTopK, KindEstimate)
+			res.Status = http.StatusBadRequest
 		}
 		resp.Results[i] = res
 	}

@@ -106,6 +106,29 @@ func (h *Handler) gather() []promexp.Family {
 			"Full-scan rebuilds of per-source Top-K indexes.", rebuilds),
 	)
 
+	if od := st.OnDemand; od != nil {
+		fams = append(fams,
+			counter("dppr_ondemand_queries_total",
+				"Answers served by the on-demand (approximate) query path.", float64(od.Queries)),
+			counter("dppr_ondemand_walks_total",
+				"Monte-Carlo refinement walks run by on-demand queries.", float64(od.Walks)),
+			counter("dppr_ondemand_snapshot_builds_total",
+				"CSR graph snapshots built for on-demand queries.", float64(od.SnapshotBuilds)),
+			counter("dppr_ondemand_seconds_total",
+				"Total time spent computing on-demand answers.", od.TotalLatency.Seconds()),
+			gauge("dppr_ondemand_last_seconds",
+				"Latency of the most recent on-demand answer.", od.LastLatency.Seconds()),
+			gauge("dppr_ondemand_candidates",
+				"Sources currently counted in the promotion admission cache.", float64(od.Candidates)),
+			counter("dppr_promotions_total",
+				"On-demand sources promoted into tracked state.", float64(od.Promotions)),
+			counter("dppr_evictions_total",
+				"Auto-promoted sources evicted to make room for hotter ones.", float64(od.Evictions)),
+			gauge("dppr_auto_sources",
+				"Currently tracked auto-promoted sources.", float64(od.AutoSources)),
+		)
+	}
+
 	if p := st.Persistence; p != nil {
 		failed := 0.0
 		if p.Failed != "" {

@@ -17,6 +17,7 @@ package montecarlo
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sync"
 
 	"dynppr/internal/fp"
@@ -166,7 +167,11 @@ func (e *Estimator) unregisterWalk(id int32) {
 	e.visits[last]--
 }
 
-// AffectedWalks returns the ids of walks whose trace visits u.
+// AffectedWalks returns the ids of walks whose trace visits u, in ascending
+// id order. The inverted index is a map, so the raw iteration order is
+// randomized per run; rerouting assigns fresh rng seeds positionally to the
+// affected walks, so the order must be deterministic or two runs with the
+// same Seed diverge after the first update.
 func (e *Estimator) AffectedWalks(u graph.VertexID) []int32 {
 	if int(u) >= len(e.index) || e.index[u] == nil {
 		return nil
@@ -175,6 +180,7 @@ func (e *Estimator) AffectedWalks(u graph.VertexID) []int32 {
 	for id := range e.index[u] {
 		out = append(out, id)
 	}
+	slices.Sort(out)
 	return out
 }
 

@@ -1,0 +1,34 @@
+package montecarlo
+
+import (
+	"math/rand"
+
+	"dynppr/internal/graph"
+)
+
+// WalkEndpointCSR simulates one α-terminating random walk from start on a
+// frozen CSR snapshot and returns the vertex where it stops. It uses the
+// same step rule as the dynamic Estimator (terminate with probability α per
+// step, otherwise move to a uniform out-neighbor, stop at dangling vertices
+// and after maxLen steps), so a caller refining a push result draws from the
+// identical walk distribution the incremental baseline maintains.
+//
+// Determinism is the caller's contract: all randomness comes from rng, so a
+// fixed seed and a fixed snapshot reproduce the same endpoint sequence.
+func WalkEndpointCSR(c *graph.CSR, start graph.VertexID, alpha float64, maxLen int, rng *rand.Rand) graph.VertexID {
+	if maxLen <= 0 {
+		maxLen = 1000
+	}
+	cur := start
+	for step := 0; step < maxLen; step++ {
+		if rng.Float64() < alpha {
+			break
+		}
+		out := c.OutNeighbors(cur)
+		if len(out) == 0 {
+			break
+		}
+		cur = out[rng.Intn(len(out))]
+	}
+	return cur
+}

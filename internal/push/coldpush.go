@@ -1,0 +1,106 @@
+package push
+
+import (
+	"fmt"
+
+	"dynppr/internal/graph"
+)
+
+// ColdPushResult is the outcome of a one-shot local push on a frozen
+// snapshot.
+type ColdPushResult struct {
+	// Estimates[v] approximates π_v(s): the probability that an
+	// α-terminating walk from v stops at the pushed source s — the same
+	// contribution vector (Equation 2 of the paper) the live engines
+	// maintain for tracked sources. Entries are nonnegative.
+	Estimates []float64
+	// Residuals[v] is the unpushed probability mass parked at v. All
+	// residuals are nonnegative: the push starts from a unit residual at the
+	// source and only ever splits it.
+	Residuals []float64
+	// ResidualMass is Σ_v Residuals[v].
+	ResidualMass float64
+	// MaxResidual is max_v Residuals[v] — the per-vertex error bound.
+	// The invariant π_v(s) = Estimates[v] + Σ_u Residuals[u]·π_v(u) holds
+	// exactly throughout the push, and Σ_u π_v(u) ≤ 1 (a walk stops at most
+	// once), so |π_v(s) − Estimates[v]| ≤ MaxResidual for every v. It is
+	// ≤ the configured ε unless Capped.
+	MaxResidual float64
+	// Pushes counts vertex pushes performed.
+	Pushes int64
+	// Capped reports that the push stopped at maxPushes with work left; the
+	// result is still sound, just with a larger MaxResidual.
+	Capped bool
+}
+
+// ColdPushCSR runs the paper's local push from a cold start on an immutable
+// CSR snapshot: starting from a unit residual at source, it repeatedly moves
+// α·R(u) into the estimate at u and spreads (1−α)·R(u)/dout(v) to each
+// in-neighbor v of u, until every residual is ≤ cfg.Epsilon or maxPushes
+// vertex pushes have been performed (maxPushes <= 0 means unbounded). The
+// update rule is exactly the Sequential engine's, so the result approximates
+// the same quantity a tracked source serves, with the per-vertex error bound
+// documented on ColdPushResult.MaxResidual.
+//
+// Unlike State (which owns a mutable graph and maintains the invariant
+// across edge updates), ColdPushCSR is a pure function of the snapshot: it
+// never mutates anything and is safe to call concurrently on the same CSR,
+// which is what the on-demand query path needs. The FIFO frontier seeded
+// with the source makes results deterministic for a given snapshot. Division
+// is always by the out-degree of an in-neighbor, which is ≥ 1 by
+// construction, so dangling vertices need no special case: one with no
+// in-edges simply never accumulates residual (its exact value is α·1{v=s}).
+func ColdPushCSR(c *graph.CSR, source graph.VertexID, cfg Config, maxPushes int64) (*ColdPushResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := c.NumVertices()
+	if source < 0 || int(source) >= n {
+		return nil, fmt.Errorf("push: source %d outside snapshot vertex range [0,%d)", source, n)
+	}
+	res := &ColdPushResult{
+		Estimates: make([]float64, n),
+		Residuals: make([]float64, n),
+	}
+	r := res.Residuals
+	p := res.Estimates
+	r[source] = 1
+
+	queue := make([]graph.VertexID, 0, 64)
+	queue = append(queue, source)
+	inQueue := make([]bool, n)
+	inQueue[source] = true
+	alpha, eps := cfg.Alpha, cfg.Epsilon
+
+	for len(queue) > 0 {
+		if maxPushes > 0 && res.Pushes >= maxPushes {
+			res.Capped = true
+			break
+		}
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		ru := r[u]
+		if ru <= eps {
+			continue
+		}
+		res.Pushes++
+		p[u] += alpha * ru
+		r[u] = 0
+		for _, v := range c.InNeighbors(u) {
+			r[v] += (1 - alpha) * ru / float64(c.OutDegree(v))
+			if r[v] > eps && !inQueue[v] {
+				inQueue[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+
+	for _, rv := range r {
+		res.ResidualMass += rv
+		if rv > res.MaxResidual {
+			res.MaxResidual = rv
+		}
+	}
+	return res, nil
+}

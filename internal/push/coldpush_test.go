@@ -1,0 +1,124 @@
+package push
+
+import (
+	"math"
+	"testing"
+
+	"dynppr/internal/gen"
+	"dynppr/internal/graph"
+	"dynppr/internal/power"
+)
+
+// coldPushSnapshot builds a deliberately dangling-heavy ER snapshot: unlike
+// the ring graphs the engine tests use, no overlay is added, so some vertices
+// have no out-edges and some have no in-edges. ColdPushCSR must stay within
+// its bound on exactly this shape — the local push never divides by a
+// dangling out-degree, so no convention caveat applies.
+func coldPushSnapshot(t *testing.T, vertices, edges int, seed int64) *graph.CSR {
+	t.Helper()
+	list, err := gen.EdgeList(gen.Config{Model: gen.ErdosRenyi, Vertices: vertices, Edges: edges, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return graph.FromEdges(list).Snapshot()
+}
+
+func TestColdPushCSRValidation(t *testing.T) {
+	c := coldPushSnapshot(t, 20, 40, 1)
+	if _, err := ColdPushCSR(c, 0, Config{Alpha: 0, Epsilon: 1}, 0); err == nil {
+		t.Fatal("invalid config must fail")
+	}
+	for _, src := range []graph.VertexID{-1, graph.VertexID(c.NumVertices())} {
+		if _, err := ColdPushCSR(c, src, DefaultConfig(), 0); err == nil {
+			t.Fatalf("out-of-range source %d must fail", src)
+		}
+	}
+}
+
+// TestColdPushCSRMatchesReverseOracle is the semantic contract: the one-shot
+// push approximates the contribution vector π_·(s) — the quantity the live
+// engines maintain — within its advertised per-vertex MaxResidual bound, for
+// every vertex, on a graph with dangling vertices.
+func TestColdPushCSRMatchesReverseOracle(t *testing.T) {
+	c := coldPushSnapshot(t, 250, 1500, 7)
+	oracleOpts := power.Options{Alpha: 0.15, Tolerance: 1e-13, MaxIterations: 20_000}
+	for _, src := range []graph.VertexID{0, 13, 101, 249} {
+		res, err := ColdPushCSR(c, src, Config{Alpha: 0.15, Epsilon: 1e-4}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Capped {
+			t.Fatalf("source %d: unbounded push reported capped", src)
+		}
+		if res.MaxResidual > 1e-4 {
+			t.Fatalf("source %d: max residual %g above epsilon", src, res.MaxResidual)
+		}
+		oracle, err := power.Reverse(c, src, oracleOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, est := range res.Estimates {
+			if d := math.Abs(est - oracle[v]); d > res.MaxResidual+1e-12 {
+				t.Fatalf("source %d vertex %d: |%g - %g| = %g exceeds MaxResidual %g",
+					src, v, est, oracle[v], d, res.MaxResidual)
+			}
+		}
+	}
+}
+
+// TestColdPushCSRCapped checks that a push cap degrades the bound, not the
+// soundness: the advertised MaxResidual grows to cover the unfinished work
+// and every estimate still sits within it.
+func TestColdPushCSRCapped(t *testing.T) {
+	c := coldPushSnapshot(t, 250, 1500, 7)
+	src := graph.VertexID(13)
+	res, err := ColdPushCSR(c, src, Config{Alpha: 0.15, Epsilon: 1e-7}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Capped || res.Pushes != 3 {
+		t.Fatalf("capped=%v pushes=%d, want capped after exactly 3", res.Capped, res.Pushes)
+	}
+	if res.MaxResidual <= 1e-7 {
+		t.Fatalf("capped push must advertise a residual above epsilon, got %g", res.MaxResidual)
+	}
+	oracle, err := power.Reverse(c, src, power.Options{Alpha: 0.15, Tolerance: 1e-13, MaxIterations: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, est := range res.Estimates {
+		if d := math.Abs(est - oracle[v]); d > res.MaxResidual+1e-12 {
+			t.Fatalf("vertex %d: |%g - %g| = %g exceeds capped MaxResidual %g",
+				v, est, oracle[v], d, res.MaxResidual)
+		}
+	}
+}
+
+// TestColdPushCSRAgreesWithLiveColdStart pins the cross-implementation
+// agreement directly: a live tracker state cold-started by the Sequential
+// engine and a one-shot ColdPushCSR at the same ε land within the sum of
+// their per-vertex bounds of each other.
+func TestColdPushCSRAgreesWithLiveColdStart(t *testing.T) {
+	list, err := gen.EdgeList(gen.Config{Model: gen.ErdosRenyi, Vertices: 200, Edges: 1200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.FromEdges(list)
+	src := g.TopDegreeVertices(1)[0]
+	cfg := Config{Alpha: 0.15, Epsilon: 1e-5}
+	st, err := NewState(g, src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewSequential().Run(st, []graph.VertexID{src})
+	res, err := ColdPushCSR(g.Snapshot(), src, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, est := range res.Estimates {
+		if d := math.Abs(est - st.Estimate(graph.VertexID(v))); d > 2*cfg.Epsilon+1e-12 {
+			t.Fatalf("vertex %d: cold push %g vs live state %g differ by %g > 2ε",
+				v, est, st.Estimate(graph.VertexID(v)), d)
+		}
+	}
+}

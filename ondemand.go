@@ -1,0 +1,565 @@
+// On-demand queries: error-bounded PPR answers for sources nobody
+// registered in advance.
+//
+// The tracked path can never reach "millions of users" — each tracked source
+// costs a full estimate/residual pair kept converged on every batch. The
+// on-demand path answers the long tail instead: a one-shot run of the
+// paper's local push (push.ColdPushCSR) over an immutable CSR snapshot of
+// the current graph down to a coarse ε, optionally refined by deterministic
+// Monte-Carlo walks (internal/montecarlo) from the answer's candidate
+// vertices. Both tiers estimate the same quantity — the contribution vector
+// π_·(s) the live trackers maintain — so promoting a source tightens its
+// error bound without ever changing the meaning of its answers. The result
+// carries the achieved per-vertex bound so callers know what they got.
+//
+// A frequency-based admission cache watches on-demand traffic: a source
+// queried at least PromoteAfter times is promoted into tracked state through
+// the live AddSource path, and when the auto-promoted set is at capacity the
+// coldest auto-promoted source is evicted first (manually added sources are
+// never touched). Hot long-tail users therefore graduate to exact
+// incremental maintenance automatically, and fall back to approximate
+// answers — never errors — when they cool off.
+package dynppr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynppr/internal/graph"
+	"dynppr/internal/montecarlo"
+	"dynppr/internal/push"
+)
+
+// OnDemandOptions configure the approximate query path for untracked
+// sources. The zero value disables it: QueryTopK/QueryEstimate then behave
+// exactly like TopK/Estimate, returning ErrUnknownSource for untracked
+// sources.
+type OnDemandOptions struct {
+	// Enabled turns the on-demand path on.
+	Enabled bool
+	// Epsilon is the push residual threshold for on-demand queries. It is
+	// deliberately coarser than the tracked ε — the push cost grows like
+	// 1/ε. <= 0 selects 1e-4.
+	Epsilon float64
+	// RefineWalks is the per-query Monte-Carlo walk budget spent after the
+	// push on the answer's candidate vertices (the top-k entries, or the
+	// single requested vertex of an estimate). 0 disables refinement; the
+	// advertised bound is unaffected either way (walks reduce expected
+	// error, not the worst case).
+	RefineWalks int
+	// Seed drives the refinement walks. Results for a given (seed, source,
+	// graph snapshot) are reproducible.
+	Seed int64
+	// PromoteAfter is the query-count threshold T at which an untracked
+	// source is promoted into tracked state. 0 disables promotion.
+	PromoteAfter int
+	// MaxAutoSources caps how many auto-promoted sources may be tracked at
+	// once; at capacity the coldest auto-promoted source is evicted to make
+	// room. Manually added sources are never evicted. <= 0 selects 64.
+	MaxAutoSources int
+	// MaxCandidates bounds the admission cache (the per-source query
+	// counters); at capacity the least recently queried candidate is
+	// dropped. <= 0 selects 4096.
+	MaxCandidates int
+	// MaxPushes bounds the work of a single on-demand push. When the cap is
+	// hit the answer is still sound — the advertised epsilon grows to cover
+	// the unpushed residual. <= 0 selects 4,000,000.
+	MaxPushes int64
+	// MaxWalkLength caps each refinement walk; <= 0 selects 1000.
+	MaxWalkLength int
+}
+
+// withDefaults resolves the zero values documented on each field.
+func (o OnDemandOptions) withDefaults() OnDemandOptions {
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-4
+	}
+	if o.MaxAutoSources <= 0 {
+		o.MaxAutoSources = 64
+	}
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 4096
+	}
+	if o.MaxPushes <= 0 {
+		o.MaxPushes = 4_000_000
+	}
+	if o.MaxWalkLength <= 0 {
+		o.MaxWalkLength = 1000
+	}
+	return o
+}
+
+// QueryInfo describes how a QueryTopK/QueryEstimate answer was produced.
+type QueryInfo struct {
+	// Approx is true when the answer came from the on-demand path (one-shot
+	// push + optional Monte-Carlo refinement) rather than a tracked
+	// source's converged snapshot.
+	Approx bool
+	// Epsilon bounds the absolute error of every estimate in the answer:
+	// the snapshot's configured ε on the tracked path, the push's achieved
+	// max residual on the on-demand path. Both are per-vertex bounds on the
+	// same contribution vector.
+	Epsilon float64
+	// Snapshot is the snapshot metadata of the answer. On the on-demand
+	// path it is synthesized: Epoch 0 marks "not a tracked snapshot", and
+	// MaxResidual/Epsilon carry the push's achieved values.
+	Snapshot SnapshotInfo
+	// Walks is the number of Monte-Carlo refinement walks run (on-demand
+	// only).
+	Walks int
+	// Promoted reports that this query crossed the promotion threshold and
+	// the source is now tracked; subsequent reads take the exact path.
+	Promoted bool
+}
+
+// onDemand is the Service's on-demand query engine. All fields are
+// internally synchronized; the Service calls it from arbitrary reader
+// goroutines.
+type onDemand struct {
+	opts OnDemandOptions
+	svc  *Service
+
+	// snap caches the CSR the queries run against, keyed by the service's
+	// graph generation. It is rebuilt on the pipeline goroutine (serialized
+	// with writes — Graph itself is not safe for concurrent use).
+	snap atomic.Pointer[odSnapshot]
+
+	// mu guards the admission cache and serializes auto-registry mutations.
+	mu    sync.Mutex
+	clock int64
+	cand  map[VertexID]*odCandidate
+
+	// auto maps each auto-promoted source to its last-use tick. touch() runs
+	// on every tracked-path read, so the registry is copy-on-write: readers
+	// load the map lock-free and refresh recency through per-entry atomics;
+	// mutations (promotion, eviction — rare) publish a fresh copy under mu.
+	auto atomic.Pointer[map[VertexID]*atomic.Int64]
+	tick atomic.Int64 // recency clock for auto sources
+
+	queries        atomic.Int64
+	walks          atomic.Int64
+	snapshotBuilds atomic.Int64
+	promotions     atomic.Int64
+	evictions      atomic.Int64
+	lastLatency    atomic.Int64 // nanoseconds
+	totalLatency   atomic.Int64 // nanoseconds
+}
+
+type odSnapshot struct {
+	gen uint64
+	csr *graph.CSR
+}
+
+// odCandidate is one admission-cache entry: how often and how recently an
+// untracked source has been queried.
+type odCandidate struct {
+	count int
+	last  int64
+}
+
+func newOnDemand(svc *Service, opts OnDemandOptions) *onDemand {
+	od := &onDemand{
+		opts: opts.withDefaults(),
+		svc:  svc,
+		cand: make(map[VertexID]*odCandidate),
+	}
+	empty := make(map[VertexID]*atomic.Int64)
+	od.auto.Store(&empty)
+	return od
+}
+
+// mutateAuto publishes a modified copy of the auto-source registry. Callers
+// hold od.mu (serializing mutations); touch() readers stay lock-free.
+func (od *onDemand) mutateAuto(f func(map[VertexID]*atomic.Int64)) {
+	old := *od.auto.Load()
+	m := make(map[VertexID]*atomic.Int64, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	f(m)
+	od.auto.Store(&m)
+}
+
+// OnDemandStats reports the on-demand query path's counters.
+type OnDemandStats struct {
+	// Queries counts answers served by the on-demand (approximate) path.
+	// Reads that hit a tracked source — including promoted ones — do not
+	// count here.
+	Queries int64
+	// Walks counts Monte-Carlo refinement walks across all queries.
+	Walks int64
+	// SnapshotBuilds counts CSR snapshot rebuilds (one per graph mutation
+	// generation actually queried, not per query).
+	SnapshotBuilds int64
+	// Promotions and Evictions count admission-cache decisions: sources
+	// promoted into tracked state, and auto-promoted sources evicted to
+	// make room.
+	Promotions int64
+	Evictions  int64
+	// Candidates is the current admission-cache size, AutoSources the
+	// number of currently tracked auto-promoted sources.
+	Candidates  int
+	AutoSources int
+	// LastLatency and TotalLatency time on-demand answers (push +
+	// refinement, excluding promotion work).
+	LastLatency  time.Duration
+	TotalLatency time.Duration
+}
+
+func (od *onDemand) stats() *OnDemandStats {
+	od.mu.Lock()
+	cands := len(od.cand)
+	od.mu.Unlock()
+	autos := len(*od.auto.Load())
+	return &OnDemandStats{
+		Queries:        od.queries.Load(),
+		Walks:          od.walks.Load(),
+		SnapshotBuilds: od.snapshotBuilds.Load(),
+		Promotions:     od.promotions.Load(),
+		Evictions:      od.evictions.Load(),
+		Candidates:     cands,
+		AutoSources:    autos,
+		LastLatency:    time.Duration(od.lastLatency.Load()),
+		TotalLatency:   time.Duration(od.totalLatency.Load()),
+	}
+}
+
+// QueryTopK returns the k vertices with the largest PPR estimates for
+// source. A tracked source is served from its converged snapshot exactly
+// like TopK; an untracked source is answered by the on-demand path when it
+// is enabled (QueryInfo.Approx true, QueryInfo.Epsilon the achieved bound)
+// and with ErrUnknownSource otherwise.
+func (s *Service) QueryTopK(source VertexID, k int) ([]VertexScore, QueryInfo, error) {
+	return s.QueryTopKCtx(context.Background(), source, k)
+}
+
+// QueryTopKCtx is QueryTopK with bounded admission for the pipeline work an
+// on-demand answer may need (snapshot refresh after a graph mutation,
+// promotion): if the write queue stays full until ctx is done those give up
+// with ErrOverloaded. Tracked-source reads never touch the pipeline and
+// ignore ctx.
+func (s *Service) QueryTopKCtx(ctx context.Context, source VertexID, k int) ([]VertexScore, QueryInfo, error) {
+	if top, info, err := s.TopKInfo(source, k); err == nil {
+		s.od.touch(source)
+		return top, QueryInfo{Epsilon: info.Epsilon, Snapshot: info}, nil
+	} else if !errorIsUnknownSource(err) || s.od == nil {
+		return nil, QueryInfo{}, err
+	}
+	res, qi, err := s.onDemandQuery(ctx, source, odRefine{topK: k})
+	if err != nil {
+		return nil, QueryInfo{}, err
+	}
+	return res.topK(k), qi, nil
+}
+
+// QueryEstimate returns the PPR estimate of v with respect to source,
+// falling back to the on-demand path for untracked sources exactly like
+// QueryTopK.
+func (s *Service) QueryEstimate(source, v VertexID) (float64, QueryInfo, error) {
+	return s.QueryEstimateCtx(context.Background(), source, v)
+}
+
+// QueryEstimateCtx is QueryEstimate with bounded admission (see
+// QueryTopKCtx).
+func (s *Service) QueryEstimateCtx(ctx context.Context, source, v VertexID) (float64, QueryInfo, error) {
+	if est, info, err := s.EstimateInfo(source, v); err == nil {
+		s.od.touch(source)
+		return est, QueryInfo{Epsilon: info.Epsilon, Snapshot: info}, nil
+	} else if !errorIsUnknownSource(err) || s.od == nil {
+		return 0, QueryInfo{}, err
+	}
+	res, qi, err := s.onDemandQuery(ctx, source, odRefine{v: v})
+	if err != nil {
+		return 0, QueryInfo{}, err
+	}
+	return res.estimate(v), qi, nil
+}
+
+// errorIsUnknownSource reports whether err is the untracked-source error —
+// the only error the on-demand path may absorb.
+func errorIsUnknownSource(err error) bool {
+	return err != nil && errors.Is(err, ErrUnknownSource)
+}
+
+// odResult is a computed on-demand answer over one snapshot.
+type odResult struct {
+	// estimates is indexed by vertex; nil when the source lies outside the
+	// snapshot (an isolated vertex: no walk from another vertex can step
+	// into it, and its own walk contributes the α of its first step, so
+	// π_v(s) = α·1{v=s} exactly).
+	estimates []float64
+	source    VertexID
+	alpha     float64
+}
+
+func (r *odResult) estimate(v VertexID) float64 {
+	if r.estimates == nil {
+		if v == r.source {
+			return r.alpha
+		}
+		return 0
+	}
+	if v < 0 || int(v) >= len(r.estimates) {
+		return 0
+	}
+	return r.estimates[v]
+}
+
+func (r *odResult) topK(k int) []VertexScore {
+	if r.estimates == nil {
+		if k <= 0 {
+			return nil
+		}
+		return []VertexScore{{Vertex: r.source, Score: r.alpha}}
+	}
+	return push.AppendTopKFunc(nil, len(r.estimates), func(i int) float64 {
+		return r.estimates[i]
+	}, k)
+}
+
+// odRefine selects where a query's Monte-Carlo budget goes: a top-k answer
+// refines its candidate set, a point estimate refines just the requested
+// vertex.
+type odRefine struct {
+	topK int      // when > 0: refine the top (topK + odRefinePad) estimates
+	v    VertexID // when topK <= 0: refine this single vertex
+}
+
+// odRefinePad is how far past the requested k the refinement reaches, so a
+// vertex just below the push's k-th place can still be promoted into the
+// answer by its correction.
+const odRefinePad = 16
+
+// onDemandQuery computes the approximate answer for an untracked source and
+// feeds the admission cache (possibly promoting the source).
+func (s *Service) onDemandQuery(ctx context.Context, source VertexID, ref odRefine) (*odResult, QueryInfo, error) {
+	od := s.od
+	if source < 0 {
+		return nil, QueryInfo{}, fmt.Errorf("dynppr: source must be non-negative, got %d", source)
+	}
+	start := time.Now()
+	snap, err := od.snapshot(ctx)
+	if err != nil {
+		return nil, QueryInfo{}, err
+	}
+	res := &odResult{source: source, alpha: s.opts.Options.Alpha}
+	qi := QueryInfo{Approx: true}
+	if int(source) < snap.csr.NumVertices() {
+		pr, err := push.ColdPushCSR(snap.csr, source, push.Config{
+			Alpha: s.opts.Options.Alpha, Epsilon: od.opts.Epsilon,
+		}, od.opts.MaxPushes)
+		if err != nil {
+			return nil, QueryInfo{}, err
+		}
+		walks := od.refine(snap, source, pr, ref)
+		res.estimates = pr.Estimates
+		qi.Walks = walks
+		qi.Epsilon = pr.MaxResidual
+		qi.Snapshot = SnapshotInfo{
+			Source:      source,
+			MaxResidual: pr.MaxResidual,
+			Epsilon:     pr.MaxResidual,
+			Vertices:    snap.csr.NumVertices(),
+		}
+	} else {
+		// The source is outside the snapshot: an isolated vertex, answered
+		// exactly (see odResult.estimates).
+		qi.Snapshot = SnapshotInfo{Source: source, Vertices: snap.csr.NumVertices()}
+	}
+	elapsed := time.Since(start)
+	od.queries.Add(1)
+	od.lastLatency.Store(int64(elapsed))
+	od.totalLatency.Add(int64(elapsed))
+
+	od.note(source)
+	qi.Promoted = od.maybePromote(ctx, source)
+	return res, qi, nil
+}
+
+// snapshot returns the CSR for the current graph generation, building it on
+// the pipeline goroutine when a mutation has invalidated the cached one.
+func (od *onDemand) snapshot(ctx context.Context) (*odSnapshot, error) {
+	s := od.svc
+	if cur := od.snap.Load(); cur != nil && cur.gen == s.graphGen.Load() {
+		return cur, nil
+	}
+	res := make(chan *odSnapshot, 1)
+	if err := s.submitRead(ctx, func() {
+		cur := od.snap.Load()
+		// Concurrent refreshers coalesce: the generation is re-read on the
+		// pipeline, where it cannot advance under us.
+		if gen := s.graphGen.Load(); cur == nil || cur.gen != gen {
+			cur = &odSnapshot{gen: gen, csr: s.g.Snapshot()}
+			od.snap.Store(cur)
+			od.snapshotBuilds.Add(1)
+		}
+		res <- cur
+	}); err != nil {
+		return nil, err
+	}
+	return <-res, nil
+}
+
+// refine spends the query's Monte-Carlo budget on the vertices the answer
+// will actually surface. The exact push invariant is, for every v,
+// π_v(s) = P(v) + Σ_u R(u)·π_v(u), and the endpoint of an α-terminating walk
+// from v has distribution π_v(·) — so the mean leftover residual at the
+// endpoints of walks started from v is an unbiased estimate of v's
+// correction term. Each target receives an equal share of the RefineWalks
+// budget. The advertised bound (MaxResidual) is unaffected: the true
+// correction and its estimate both lie in [0, MaxResidual]. The rng is
+// seeded from (Seed, source, snapshot generation) and targets are visited in
+// rank order, so identical queries return identical answers.
+func (od *onDemand) refine(snap *odSnapshot, source VertexID, pr *push.ColdPushResult, ref odRefine) int {
+	w := od.opts.RefineWalks
+	if w <= 0 || pr.MaxResidual <= 0 {
+		return 0
+	}
+	var targets []VertexID
+	if ref.topK > 0 {
+		for _, vs := range push.AppendTopKFunc(nil, len(pr.Estimates), func(i int) float64 {
+			return pr.Estimates[i]
+		}, ref.topK+odRefinePad) {
+			targets = append(targets, vs.Vertex)
+		}
+	} else if ref.v >= 0 && int(ref.v) < len(pr.Estimates) {
+		targets = []VertexID{ref.v}
+	}
+	if len(targets) == 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(od.opts.Seed ^ int64(source)*0x5851F42D4C957F2D ^ int64(snap.gen)))
+	alpha := od.svc.opts.Options.Alpha
+	per, extra := w/len(targets), w%len(targets)
+	used := 0
+	for i, v := range targets {
+		wt := per
+		if i < extra {
+			wt++
+		}
+		if wt == 0 {
+			break
+		}
+		var sum float64
+		for j := 0; j < wt; j++ {
+			end := montecarlo.WalkEndpointCSR(snap.csr, graph.VertexID(v), alpha, od.opts.MaxWalkLength, rng)
+			sum += pr.Residuals[end]
+		}
+		pr.Estimates[v] += sum / float64(wt)
+		used += wt
+	}
+	od.walks.Add(int64(used))
+	return used
+}
+
+// touch refreshes the last-use tick of an auto-promoted source so exact-path
+// reads keep it warm against eviction. Called by the Query* entry points on
+// tracked-path answers. Lock-free — the read path must not pay a mutex for
+// promotion bookkeeping, or a promoted source would serve slower than a
+// hand-tracked one (the parity the CI benchmark gate asserts).
+func (od *onDemand) touch(source VertexID) {
+	if od == nil || od.opts.PromoteAfter <= 0 {
+		return
+	}
+	if e, ok := (*od.auto.Load())[source]; ok {
+		e.Store(od.tick.Add(1))
+	}
+}
+
+// note records one on-demand query against the admission cache, dropping the
+// least recently used candidate when the cache is full.
+func (od *onDemand) note(source VertexID) {
+	if od.opts.PromoteAfter <= 0 {
+		return
+	}
+	od.mu.Lock()
+	defer od.mu.Unlock()
+	od.clock++
+	c := od.cand[source]
+	if c == nil {
+		if len(od.cand) >= od.opts.MaxCandidates {
+			var coldest VertexID
+			cold := int64(-1)
+			for v, cc := range od.cand {
+				if cold < 0 || cc.last < cold {
+					cold, coldest = cc.last, v
+				}
+			}
+			delete(od.cand, coldest)
+		}
+		c = &odCandidate{}
+		od.cand[source] = c
+	}
+	c.count++
+	c.last = od.clock
+}
+
+// maybePromote promotes source into tracked state once its query count
+// reaches the threshold, evicting the coldest auto-promoted source first
+// when the auto set is at capacity. Promotion failures (an overloaded
+// pipeline) are swallowed — the query that triggered them already has its
+// answer, and the candidate's count is kept so a later query retries.
+func (od *onDemand) maybePromote(ctx context.Context, source VertexID) bool {
+	if od.opts.PromoteAfter <= 0 {
+		return false
+	}
+	s := od.svc
+	od.mu.Lock()
+	c := od.cand[source]
+	if c == nil || c.count < od.opts.PromoteAfter {
+		od.mu.Unlock()
+		return false
+	}
+	victim := VertexID(-1)
+	if auto := *od.auto.Load(); len(auto) >= od.opts.MaxAutoSources {
+		cold := int64(-1)
+		for v, last := range auto {
+			if t := last.Load(); cold < 0 || t < cold {
+				cold, victim = t, v
+			}
+		}
+	}
+	od.mu.Unlock()
+
+	// The eviction and the addition go through the ordinary live
+	// source-management path, outside od.mu (the pipeline never takes it, so
+	// there is no lock-order hazard — just no reason to hold it while a cold
+	// start runs).
+	if victim >= 0 {
+		err := s.RemoveSourceCtx(ctx, victim)
+		if err != nil && !errors.Is(err, ErrUnknownSource) {
+			return false // overloaded or closed: retry on a later query
+		}
+		od.mu.Lock()
+		od.mutateAuto(func(m map[VertexID]*atomic.Int64) { delete(m, victim) })
+		od.mu.Unlock()
+		if err == nil {
+			od.evictions.Add(1)
+		}
+	}
+	if err := s.AddSourceCtx(ctx, source); err != nil {
+		// "already tracked" means someone else (a concurrent promotion or a
+		// manual AddSource) won the race; either way the source is tracked
+		// now and the candidate entry has served its purpose.
+		if _, tracked := (*s.table.Load())[source]; !tracked {
+			return false
+		}
+		od.mu.Lock()
+		delete(od.cand, source)
+		od.mu.Unlock()
+		return false
+	}
+	od.mu.Lock()
+	delete(od.cand, source)
+	e := new(atomic.Int64)
+	e.Store(od.tick.Add(1))
+	od.mutateAuto(func(m map[VertexID]*atomic.Int64) { m[source] = e })
+	od.mu.Unlock()
+	od.promotions.Add(1)
+	return true
+}

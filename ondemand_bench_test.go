@@ -1,0 +1,113 @@
+// BenchmarkOnDemandQuery contrasts the three tiers of the serving model on
+// R-MAT graphs: path=tracked reads the live incrementally-maintained
+// snapshot, path=ondemand pays a bounded cold push per query, and
+// path=promoted is a formerly cold source after the admission cache moved it
+// to live tracking — the parity the CI gate asserts (a promoted read must
+// serve at tracked speed, not on-demand speed).
+package dynppr_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dynppr"
+)
+
+// odBenchState is the lazily built per-size fixture: one service that never
+// promotes (so path=ondemand stays on the push path across all b.N
+// iterations) and one that promotes after 3 queries (providing both the
+// tracked baseline and the promoted source).
+type odBenchState struct {
+	once     sync.Once
+	odOnly   *dynppr.Service
+	promo    *dynppr.Service
+	tracked  dynppr.VertexID
+	cold     dynppr.VertexID
+	promoted dynppr.VertexID
+	err      error
+}
+
+var odBench = map[int]*odBenchState{10_000: {}, 200_000: {}}
+
+func (st *odBenchState) setup(vertices int) {
+	edges, err := dynppr.GenerateEdges(dynppr.SyntheticConfig{
+		Name: "ondemand-bench", Model: dynppr.ModelRMAT,
+		Vertices: vertices, Edges: 5 * vertices, Seed: 11,
+	})
+	if err != nil {
+		st.err = err
+		return
+	}
+	opts := dynppr.DefaultOptions()
+	opts.Engine = dynppr.EngineDeterministic
+	opts.Epsilon = 1e-4
+	build := func(promoteAfter int) (*dynppr.Service, dynppr.VertexID, error) {
+		g := dynppr.GraphFromEdges(edges)
+		source := g.TopDegreeVertices(1)[0]
+		svc, err := dynppr.NewService(g, []dynppr.VertexID{source}, dynppr.ServiceOptions{
+			Options: opts, PoolWorkers: 1,
+			OnDemand: dynppr.OnDemandOptions{
+				Enabled: true, Epsilon: 1e-4, Seed: 3,
+				PromoteAfter: promoteAfter, MaxAutoSources: 4,
+			},
+		})
+		return svc, source, err
+	}
+	if st.odOnly, st.tracked, st.err = build(0); st.err != nil {
+		return
+	}
+	if st.promo, _, st.err = build(3); st.err != nil {
+		return
+	}
+	// A mid-degree vertex keeps the cold query representative: neither the
+	// hub the tracked path serves nor an isolated leaf.
+	st.cold = dynppr.GraphFromEdges(edges).TopDegreeVertices(16)[15]
+	st.promoted = st.cold
+	for i := 0; i < 3; i++ {
+		if _, _, err := st.promo.QueryTopK(st.promoted, 10); err != nil {
+			st.err = err
+			return
+		}
+	}
+	// The third query promotes synchronously; fail loudly if it did not.
+	if _, info, err := st.promo.QueryTopK(st.promoted, 10); err != nil || info.Approx {
+		st.err = fmt.Errorf("source %d not promoted after 3 queries (info %+v, err %v)",
+			st.promoted, info, err)
+	}
+}
+
+func BenchmarkOnDemandQuery(b *testing.B) {
+	for _, vertices := range []int{10_000, 200_000} {
+		st := odBench[vertices]
+		b.Run(fmt.Sprintf("n=%d", vertices), func(b *testing.B) {
+			st.once.Do(func() { st.setup(vertices) })
+			if st.err != nil {
+				b.Fatal(st.err)
+			}
+			for _, path := range []struct {
+				name       string
+				svc        *dynppr.Service
+				source     dynppr.VertexID
+				wantApprox bool
+			}{
+				{"tracked", st.promo, st.tracked, false},
+				{"ondemand", st.odOnly, st.cold, true},
+				{"promoted", st.promo, st.promoted, false},
+			} {
+				b.Run("path="+path.name, func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						top, info, err := path.svc.QueryTopK(path.source, 10)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if info.Approx != path.wantApprox || len(top) == 0 {
+							b.Fatalf("path %s: approx=%t results=%d", path.name, info.Approx, len(top))
+						}
+					}
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,353 @@
+package dynppr_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dynppr"
+	"dynppr/internal/power"
+)
+
+// odTestEdges generates an R-MAT edge list with a ring overlay. The overlay
+// keeps every vertex reachable, so every probe's push does nontrivial work
+// and advertises a positive epsilon (an unreachable source would be answered
+// exactly, with epsilon 0, and trip the positivity assertions below).
+func odTestEdges(t *testing.T, vertices, edges int, seed int64) []dynppr.Edge {
+	t.Helper()
+	list, err := dynppr.GenerateEdges(dynppr.SyntheticConfig{
+		Name: "od-rmat", Model: dynppr.ModelRMAT, Vertices: vertices, Edges: edges, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("GenerateEdges: %v", err)
+	}
+	for v := 0; v < vertices; v++ {
+		list = append(list, dynppr.Edge{U: dynppr.VertexID(v), V: dynppr.VertexID((v + 1) % vertices)})
+	}
+	return list
+}
+
+// applyEdges mirrors a batch onto a plain graph so an oracle can be computed
+// on exactly the edge set the service holds.
+func applyEdges(t *testing.T, g *dynppr.Graph, b dynppr.Batch) {
+	t.Helper()
+	for _, u := range b {
+		switch u.Op {
+		case dynppr.Insert:
+			if _, err := g.AddEdge(u.U, u.V); err != nil {
+				t.Fatalf("oracle AddEdge(%d,%d): %v", u.U, u.V, err)
+			}
+		case dynppr.Delete:
+			if err := g.RemoveEdge(u.U, u.V); err != nil {
+				t.Fatalf("oracle RemoveEdge(%d,%d): %v", u.U, u.V, err)
+			}
+		}
+	}
+}
+
+// TestOnDemandDifferentialVsOracle checks the acceptance contract of the
+// on-demand path: every estimate returned for an untracked source is within
+// the advertised error bound of the power-iteration reverse (contribution)
+// oracle — the same quantity tracked sources serve — both with the pure push
+// and with Monte-Carlo refinement, before and after a live edge batch (which
+// forces a CSR snapshot rebuild).
+func TestOnDemandDifferentialVsOracle(t *testing.T) {
+	const (
+		vertices = 400
+		odEps    = 1e-5
+	)
+	edges := odTestEdges(t, vertices, 3000, 21)
+	batch := dynppr.Batch{
+		{U: 7, V: 301, Op: dynppr.Insert},
+		{U: 301, V: 9, Op: dynppr.Insert},
+		{U: 0, V: 1, Op: dynppr.Delete},
+		{U: 55, V: 120, Op: dynppr.Insert},
+	}
+	for _, walks := range []int{0, 4000} {
+		g := dynppr.GraphFromEdges(edges)
+		tracked := g.TopDegreeVertices(2)
+		so := dynppr.DefaultServiceOptions()
+		so.Options.Epsilon = 1e-6
+		so.OnDemand = dynppr.OnDemandOptions{
+			Enabled: true, Epsilon: odEps, RefineWalks: walks, Seed: 42,
+		}
+		svc, err := dynppr.NewService(g, tracked, so)
+		if err != nil {
+			t.Fatalf("NewService: %v", err)
+		}
+		defer svc.Close()
+
+		oracleGraph := dynppr.GraphFromEdges(edges)
+		check := func(stage string) {
+			isTracked := make(map[dynppr.VertexID]bool, len(tracked))
+			for _, s := range tracked {
+				isTracked[s] = true
+			}
+			csr := oracleGraph.Snapshot()
+			var probes []dynppr.VertexID
+			for _, v := range []dynppr.VertexID{3, 57, 191, 202, 333} {
+				if !isTracked[v] {
+					probes = append(probes, v)
+				}
+			}
+			for _, src := range probes {
+				oracle, err := power.Reverse(csr, src, power.Options{
+					Alpha: so.Options.Alpha, Tolerance: 1e-12, MaxIterations: 10_000,
+				})
+				if err != nil {
+					t.Fatalf("%s: power.Reverse(%d): %v", stage, src, err)
+				}
+				top, qi, err := svc.QueryTopK(src, 10)
+				if err != nil {
+					t.Fatalf("%s: QueryTopK(%d): %v", stage, src, err)
+				}
+				if !qi.Approx {
+					t.Fatalf("%s: QueryTopK(%d): expected approx answer for untracked source", stage, src)
+				}
+				if qi.Epsilon <= 0 || qi.Epsilon >= 1 {
+					t.Fatalf("%s: QueryTopK(%d): implausible advertised epsilon %g", stage, src, qi.Epsilon)
+				}
+				const slack = 1e-12
+				for _, vs := range top {
+					if diff := math.Abs(vs.Score - oracle[vs.Vertex]); diff > qi.Epsilon+slack {
+						t.Fatalf("%s: walks=%d source=%d vertex=%d: |%g - %g| = %g > advertised epsilon %g",
+							stage, walks, src, vs.Vertex, vs.Score, oracle[vs.Vertex], diff, qi.Epsilon)
+					}
+				}
+				for _, v := range []dynppr.VertexID{0, 1, src, 99, 250, vertices - 1} {
+					est, eqi, err := svc.QueryEstimate(src, v)
+					if err != nil {
+						t.Fatalf("%s: QueryEstimate(%d,%d): %v", stage, src, v, err)
+					}
+					if !eqi.Approx {
+						t.Fatalf("%s: QueryEstimate(%d,%d): expected approx answer", stage, src, v)
+					}
+					if diff := math.Abs(est - oracle[v]); diff > eqi.Epsilon+slack {
+						t.Fatalf("%s: walks=%d source=%d estimate(%d): |%g - %g| = %g > epsilon %g",
+							stage, walks, src, v, est, oracle[v], diff, eqi.Epsilon)
+					}
+				}
+				// Determinism: the same query against the same snapshot
+				// returns bit-identical scores.
+				again, qi2, err := svc.QueryTopK(src, 10)
+				if err != nil {
+					t.Fatalf("%s: repeat QueryTopK(%d): %v", stage, src, err)
+				}
+				if qi2.Epsilon != qi.Epsilon || len(again) != len(top) {
+					t.Fatalf("%s: repeat QueryTopK(%d): shape/epsilon changed", stage, src)
+				}
+				for i := range top {
+					if top[i] != again[i] {
+						t.Fatalf("%s: repeat QueryTopK(%d): entry %d differs: %v vs %v", stage, src, i, top[i], again[i])
+					}
+				}
+			}
+			// A tracked source stays on the exact path.
+			if _, qi, err := svc.QueryTopK(tracked[0], 5); err != nil || qi.Approx {
+				t.Fatalf("%s: tracked QueryTopK: err=%v approx=%v", stage, err, qi.Approx)
+			}
+		}
+
+		check("initial")
+		if _, err := svc.ApplyBatch(batch); err != nil {
+			t.Fatalf("ApplyBatch: %v", err)
+		}
+		applyEdges(t, oracleGraph, batch)
+		check("after-batch")
+
+		st := svc.Stats()
+		if st.OnDemand == nil {
+			t.Fatal("Stats().OnDemand is nil with the path enabled")
+		}
+		if st.OnDemand.Queries == 0 {
+			t.Fatal("Stats().OnDemand.Queries did not advance")
+		}
+		if st.OnDemand.SnapshotBuilds < 2 {
+			t.Fatalf("expected >= 2 snapshot builds (initial + post-batch), got %d", st.OnDemand.SnapshotBuilds)
+		}
+		if walks > 0 && st.OnDemand.Walks == 0 {
+			t.Fatal("refinement walks not counted")
+		}
+		svc.Close()
+	}
+}
+
+// TestOnDemandPromotionLifecycle drives the full admission funnel: a cold
+// source queried T times is promoted into Sources(), an over-capacity auto
+// set evicts its coldest member, and reads of an evicted source fall back to
+// the on-demand path — never an error.
+func TestOnDemandPromotionLifecycle(t *testing.T) {
+	edges := odTestEdges(t, 80, 400, 7)
+	g := dynppr.GraphFromEdges(edges)
+	manual := g.TopDegreeVertices(1)
+	so := dynppr.DefaultServiceOptions()
+	so.OnDemand = dynppr.OnDemandOptions{
+		Enabled: true, Epsilon: 1e-3, PromoteAfter: 3, MaxAutoSources: 2, Seed: 1,
+	}
+	svc, err := dynppr.NewService(g, manual, so)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	defer svc.Close()
+
+	tracked := func(v dynppr.VertexID) bool {
+		for _, s := range svc.Sources() {
+			if s == v {
+				return true
+			}
+		}
+		return false
+	}
+	queryN := func(src dynppr.VertexID, n int) dynppr.QueryInfo {
+		var last dynppr.QueryInfo
+		for i := 0; i < n; i++ {
+			_, qi, err := svc.QueryTopK(src, 5)
+			if err != nil {
+				t.Fatalf("QueryTopK(%d) #%d: %v", src, i, err)
+			}
+			last = qi
+		}
+		return last
+	}
+
+	var s1, s2, s3 dynppr.VertexID = 11, 22, 33
+	if tracked(s1) || tracked(s2) || tracked(s3) {
+		t.Fatal("test sources unexpectedly tracked at start")
+	}
+
+	// Below the threshold the source stays approximate. Keep the first
+	// answer to compare against the exact one after promotion.
+	approxTop, aqi, err := svc.QueryTopK(s1, 5)
+	if err != nil {
+		t.Fatalf("QueryTopK(%d): %v", s1, err)
+	}
+	if !aqi.Approx || aqi.Promoted {
+		t.Fatalf("pre-threshold query: approx=%v promoted=%v", aqi.Approx, aqi.Promoted)
+	}
+	if qi := queryN(s1, 1); !qi.Approx || qi.Promoted {
+		t.Fatalf("pre-threshold query: approx=%v promoted=%v", qi.Approx, qi.Promoted)
+	}
+	// The T-th query promotes.
+	if qi := queryN(s1, 1); !qi.Promoted {
+		t.Fatal("query #3 did not promote")
+	}
+	if !tracked(s1) {
+		t.Fatalf("source %d missing from Sources() after promotion", s1)
+	}
+	// Subsequent reads take the exact path and do not advance the
+	// on-demand query counter.
+	before := svc.Stats().OnDemand.Queries
+	if _, qi, err := svc.QueryTopK(s1, 5); err != nil || qi.Approx {
+		t.Fatalf("post-promotion read: err=%v approx=%v", err, qi.Approx)
+	}
+	if after := svc.Stats().OnDemand.Queries; after != before {
+		t.Fatalf("exact read advanced on-demand queries: %d -> %d", before, after)
+	}
+	// Promotion must not change what an answer means: the pre-promotion
+	// approximate scores agree with the post-promotion exact ones within the
+	// two advertised bounds. (Regression test — the on-demand path once
+	// computed the forward vector π_s while tracked sources serve the
+	// contribution vector, so answers for the same source jumped at
+	// promotion.)
+	for _, vs := range approxTop {
+		exact, info, err := svc.EstimateInfo(s1, vs.Vertex)
+		if err != nil {
+			t.Fatalf("EstimateInfo(%d,%d): %v", s1, vs.Vertex, err)
+		}
+		if d := math.Abs(vs.Score - exact); d > aqi.Epsilon+info.Epsilon+1e-12 {
+			t.Fatalf("promotion changed the answer at vertex %d: approx %g vs exact %g (diff %g > %g+%g)",
+				vs.Vertex, vs.Score, exact, d, aqi.Epsilon, info.Epsilon)
+		}
+	}
+
+	queryN(s2, 3)
+	if !tracked(s2) {
+		t.Fatalf("source %d not promoted", s2)
+	}
+	// Keep s2 warm so s1 is the coldest auto source, then promote s3 to
+	// force an eviction (capacity 2).
+	queryN(s2, 1)
+	if qi := queryN(s3, 3); !qi.Promoted {
+		t.Fatal("source s3 not promoted under capacity pressure")
+	}
+	if tracked(s1) {
+		t.Fatalf("coldest auto source %d survived capacity pressure", s1)
+	}
+	if !tracked(s2) || !tracked(s3) {
+		t.Fatalf("warm auto sources evicted: s2=%v s3=%v", tracked(s2), tracked(s3))
+	}
+	if !tracked(manual[0]) {
+		t.Fatal("manually added source was evicted")
+	}
+	st := svc.Stats().OnDemand
+	if st.Promotions != 3 || st.Evictions != 1 {
+		t.Fatalf("promotions=%d evictions=%d, want 3 and 1", st.Promotions, st.Evictions)
+	}
+	if st.AutoSources != 2 {
+		t.Fatalf("auto sources=%d, want 2", st.AutoSources)
+	}
+
+	// The evicted source falls back to approximate answers, never errors.
+	if _, qi, err := svc.QueryTopK(s1, 5); err != nil || !qi.Approx {
+		t.Fatalf("evicted-source read: err=%v approx=%v", err, qi.Approx)
+	}
+	if _, qi, err := svc.QueryEstimate(s1, 0); err != nil || !qi.Approx {
+		t.Fatalf("evicted-source estimate: err=%v approx=%v", err, qi.Approx)
+	}
+
+	// A source outside the graph is still answerable, exactly: no walk can
+	// reach an isolated vertex, and its own walk contributes exactly α.
+	far := dynppr.VertexID(10_000)
+	est, qi, err := svc.QueryEstimate(far, far)
+	if err != nil || !qi.Approx || est != so.Options.Alpha {
+		t.Fatalf("out-of-graph source: est=%g (want alpha %g) approx=%v err=%v",
+			est, so.Options.Alpha, qi.Approx, err)
+	}
+}
+
+// TestUnknownSourceErrorIdentity pins the cross-layer error contract:
+// every read path reports an untracked source with an error satisfying
+// errors.Is(err, ErrUnknownSource) — TrackerSet included, which used to
+// return an ad-hoc string error.
+func TestUnknownSourceErrorIdentity(t *testing.T) {
+	edges := odTestEdges(t, 40, 200, 3)
+
+	ts, err := dynppr.NewTrackerSet(dynppr.GraphFromEdges(edges), []dynppr.VertexID{0}, dynppr.DefaultOptions())
+	if err != nil {
+		t.Fatalf("NewTrackerSet: %v", err)
+	}
+	if _, err := ts.Estimate(39, 1); !errors.Is(err, dynppr.ErrUnknownSource) {
+		t.Fatalf("TrackerSet.Estimate: %v does not wrap ErrUnknownSource", err)
+	}
+
+	svc, err := dynppr.NewService(dynppr.GraphFromEdges(edges), []dynppr.VertexID{0}, dynppr.DefaultServiceOptions())
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	defer svc.Close()
+	unknown := dynppr.VertexID(39)
+	checks := map[string]error{}
+	_, e1 := svc.Estimate(unknown, 0)
+	checks["Service.Estimate"] = e1
+	_, e2 := svc.TopK(unknown, 5)
+	checks["Service.TopK"] = e2
+	_, e3 := svc.Estimates(unknown)
+	checks["Service.Estimates"] = e3
+	_, e4 := svc.Info(unknown)
+	checks["Service.Info"] = e4
+	_, _, e5 := svc.TopKInfo(unknown, 5)
+	checks["Service.TopKInfo"] = e5
+	_, _, e6 := svc.EstimateInfo(unknown, 0)
+	checks["Service.EstimateInfo"] = e6
+	checks["Service.RemoveSource"] = svc.RemoveSource(unknown)
+	// With on-demand disabled the Query entry points keep the same error.
+	_, _, e7 := svc.QueryTopK(unknown, 5)
+	checks["Service.QueryTopK"] = e7
+	_, _, e8 := svc.QueryEstimate(unknown, 0)
+	checks["Service.QueryEstimate"] = e8
+	for name, err := range checks {
+		if !errors.Is(err, dynppr.ErrUnknownSource) {
+			t.Errorf("%s: %v does not wrap ErrUnknownSource", name, err)
+		}
+	}
+}

@@ -92,6 +92,13 @@ type Service struct {
 	// shed counts mutations rejected with ErrOverloaded because the write
 	// queue was full and the caller's admission budget ran out.
 	shed atomic.Int64
+
+	// graphGen counts graph mutations (batches with effect, source cold
+	// starts). The on-demand query path keys its CSR snapshot cache on it.
+	graphGen atomic.Uint64
+	// od is the on-demand query engine for untracked sources; nil unless
+	// ServiceOptions.OnDemand.Enabled.
+	od *onDemand
 }
 
 type sourceTable map[VertexID]*serviceSource
@@ -135,6 +142,9 @@ type ServiceOptions struct {
 	// vector. 0 selects push.DefaultTopKCap (128); negative disables the
 	// index entirely (every TopK scans).
 	TopKCap int
+	// OnDemand configures the approximate query path for untracked sources
+	// (QueryTopK/QueryEstimate); the zero value disables it.
+	OnDemand OnDemandOptions
 }
 
 // topKCap resolves the TopKCap option to the slot constructor's convention
@@ -281,6 +291,10 @@ func newService(g *Graph, so ServiceOptions, cold []VertexID, recovered []seedSo
 	svc.table.Store(&table)
 	svc.vertices.Store(int64(g.NumVertices()))
 	svc.edges.Store(int64(g.NumEdges()))
+	svc.graphGen.Store(1)
+	if so.OnDemand.Enabled {
+		svc.od = newOnDemand(svc, so.OnDemand)
+	}
 
 	for i := range svc.shardCh {
 		svc.shardCh[i] = make(chan shardJob)
@@ -366,6 +380,30 @@ func (s *Service) submitCtx(ctx context.Context, fn func()) error {
 		return nil
 	case <-ctx.Done():
 		s.shed.Add(1)
+		return fmt.Errorf("%w: %v", ErrOverloaded, ctx.Err())
+	}
+}
+
+// submitRead enqueues read-side pipeline work (an on-demand CSR snapshot
+// refresh) with the same bounded admission as submitCtx, but without
+// counting a timeout against the shed statistic — shed tracks rejected
+// MUTATIONS, and a read that gave up refreshing its snapshot must not look
+// like write load shedding on the dashboards.
+func (s *Service) submitRead(ctx context.Context, fn func()) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrServiceClosed
+	}
+	select {
+	case s.work <- fn:
+		return nil
+	default:
+	}
+	select {
+	case s.work <- fn:
+		return nil
+	case <-ctx.Done():
 		return fmt.Errorf("%w: %v", ErrOverloaded, ctx.Err())
 	}
 }
@@ -472,6 +510,9 @@ func (s *Service) doBatch(b Batch) BatchResult {
 			after += src.st.Counters.Snapshot().Pushes
 		}
 	}
+	if applied > 0 {
+		s.graphGen.Add(1)
+	}
 	latency := time.Since(start)
 	s.batches.Add(1)
 	s.applied.Add(int64(applied))
@@ -574,6 +615,9 @@ func (s *Service) doAddSource(source VertexID) error {
 	next[source] = src
 	s.table.Store(&next)
 	s.vertices.Store(int64(s.g.NumVertices()))
+	// The cold start may have grown the graph (EnsureVertex), so the
+	// on-demand CSR cache must be invalidated.
+	s.graphGen.Add(1)
 	return nil
 }
 
@@ -841,6 +885,9 @@ type ServiceStats struct {
 	// Persistence reports the durability layer's state; nil for an
 	// in-memory service.
 	Persistence *PersistenceStats
+	// OnDemand reports the on-demand query path's counters; nil when the
+	// path is disabled.
+	OnDemand *OnDemandStats
 }
 
 // QueueStats is the cheap, allocation-free subset of ServiceStats the
@@ -900,6 +947,9 @@ func (s *Service) Stats() ServiceStats {
 		PoolWorkers:       s.opts.PoolWorkers,
 		Engine:            s.opts.Options.Engine.String(),
 		Persistence:       s.persistenceStats(),
+	}
+	if s.od != nil {
+		stats.OnDemand = s.od.stats()
 	}
 	for _, src := range table {
 		ps := src.slot.Stats()

@@ -138,14 +138,15 @@ func (ts *TrackerSet) Sources() []VertexID {
 func (ts *TrackerSet) Graph() *Graph { return ts.g }
 
 // Estimate returns the PPR estimate of v with respect to the given source.
-// It returns an error when the source is not tracked.
+// It returns an error wrapping ErrUnknownSource when the source is not
+// tracked, so errors.Is works identically across TrackerSet and Service.
 func (ts *TrackerSet) Estimate(source, v VertexID) (float64, error) {
 	for i, s := range ts.sources {
 		if s == source {
 			return ts.states[i].Estimate(v), nil
 		}
 	}
-	return 0, fmt.Errorf("dynppr: source %d is not tracked", source)
+	return 0, fmt.Errorf("%w: %d", ErrUnknownSource, source)
 }
 
 // ApplyBatch applies the batch to the shared graph once, restores the
