@@ -171,6 +171,12 @@ func BenchmarkFig10_Scalability(b *testing.B) {
 // Ablation and micro benchmarks on the public API.
 
 func buildBenchWorkload(b *testing.B, vertices, edges int) ([]dynppr.Edge, *dynppr.Graph, dynppr.VertexID) {
+	return buildBenchWorkloadSplit(b, vertices, edges, edges*9/10)
+}
+
+// buildBenchWorkloadSplit generates the R-MAT universe and seeds the graph
+// with the first split edges; the remainder becomes the mutation batch.
+func buildBenchWorkloadSplit(b *testing.B, vertices, edges, split int) ([]dynppr.Edge, *dynppr.Graph, dynppr.VertexID) {
 	b.Helper()
 	all, err := dynppr.GenerateEdges(dynppr.SyntheticConfig{
 		Name: "micro", Model: dynppr.ModelRMAT, Vertices: vertices, Edges: edges, Seed: 5,
@@ -178,7 +184,6 @@ func buildBenchWorkload(b *testing.B, vertices, edges int) ([]dynppr.Edge, *dynp
 	if err != nil {
 		b.Fatal(err)
 	}
-	split := edges * 9 / 10
 	g := dynppr.GraphFromEdges(all[:split])
 	source := g.TopDegreeVertices(1)[0]
 	return all[split:], g, source
@@ -189,7 +194,11 @@ func benchmarkTrackerBatch(b *testing.B, opts dynppr.Options) {
 }
 
 func benchmarkTrackerBatchSized(b *testing.B, opts dynppr.Options, vertices, edges int) {
-	inserts, g, source := buildBenchWorkload(b, vertices, edges)
+	benchmarkTrackerBatchSplit(b, opts, vertices, edges, edges*9/10)
+}
+
+func benchmarkTrackerBatchSplit(b *testing.B, opts dynppr.Options, vertices, edges, split int) {
+	inserts, g, source := buildBenchWorkloadSplit(b, vertices, edges, split)
 	tracker, err := dynppr.NewTracker(g, source, opts)
 	if err != nil {
 		b.Fatal(err)
@@ -352,6 +361,28 @@ func BenchmarkBatchApplyEngines(b *testing.B) {
 			benchmarkTrackerBatchSized(b, opts, 10000, 200000)
 		})
 	}
+}
+
+// BenchmarkBatchApplyEngines10M is the storage-engine scale point: the same
+// batch-apply measurement as BenchmarkBatchApplyEngines but on a 1M-vertex /
+// 10M-edge R-MAT graph with ~20k-update batches — large enough that the
+// graph's CSR base no longer fits in cache and the LSM delta/compaction
+// machinery, not the push arithmetic, decides the steady-state throughput.
+// ε is relaxed to 1e-4 to keep the cold start affordable; the per-batch push
+// work is still millions of edge traversals. Run with -benchtime 1x (each
+// iteration applies a full 20k-update batch).
+func BenchmarkBatchApplyEngines10M(b *testing.B) {
+	const (
+		vertices = 1_000_000
+		edges    = 10_000_000
+		batch    = 20_000
+	)
+	b.Run("engine=deterministic", func(b *testing.B) {
+		opts := dynppr.DefaultOptions()
+		opts.Engine = dynppr.EngineDeterministic
+		opts.Epsilon = 1e-4
+		benchmarkTrackerBatchSplit(b, opts, vertices, edges, edges-batch)
+	})
 }
 
 // topKBench holds the lazily built 200k-vertex serving pair shared by the

@@ -37,6 +37,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -56,6 +57,7 @@ func run(args []string, out io.Writer) error {
 		newPath   = fs.String("new", "", "candidate bench stream (regression mode)")
 		threshold = fs.Float64("threshold", 0.15, "fail when the gated ns/op ratio exceeds 1+threshold")
 		normalize = fs.Bool("normalize", false, "divide each ratio by the stream geomean and gate the worst benchmark instead of the geomean — cancels uniform machine-speed differences for cross-machine diffs")
+		match     = fs.String("match", "", "regexp limiting regression mode to matching benchmark names — scope a gate to one benchmark family")
 		inPath    = fs.String("in", "", "bench stream (speedup mode)")
 		slow      = fs.String("slow", "", "benchmark expected to be slower (speedup mode)")
 		fast      = fs.String("fast", "", "benchmark expected to be faster (speedup mode)")
@@ -82,6 +84,17 @@ func run(args []string, out io.Writer) error {
 		newR, err := parseFile(*newPath)
 		if err != nil {
 			return err
+		}
+		if *match != "" {
+			re, err := regexp.Compile(*match)
+			if err != nil {
+				return fmt.Errorf("-match: %w", err)
+			}
+			oldR = filterNames(oldR, re)
+			newR = filterNames(newR, re)
+			if len(oldR) == 0 || len(newR) == 0 {
+				return fmt.Errorf("-match %q leaves no benchmarks in one of the streams", *match)
+			}
 		}
 		return diff(out, oldR, newR, *threshold, *normalize)
 	default:
@@ -182,6 +195,17 @@ func parseBenchLine(line string) (string, float64, bool) {
 		}
 	}
 	return "", 0, false
+}
+
+// filterNames keeps only the benchmarks whose name matches re.
+func filterNames(results map[string]float64, re *regexp.Regexp) map[string]float64 {
+	out := make(map[string]float64, len(results))
+	for name, v := range results {
+		if re.MatchString(name) {
+			out[name] = v
+		}
+	}
+	return out
 }
 
 func geomean(xs []float64) float64 {

@@ -145,6 +145,30 @@ func TestNormalizedGateCancelsMachineSpeed(t *testing.T) {
 	}
 }
 
+func TestMatchScopesRegressionGate(t *testing.T) {
+	oldF := writeTemp(t, "old.json", jsonStream)
+	// Sequential regresses 2x; deterministic is unchanged. Scoped to the
+	// deterministic benchmark the gate passes, unscoped it fails, and a
+	// pattern matching nothing is an error rather than a vacuous pass.
+	slower := strings.ReplaceAll(jsonStream, " 200000 ns/op", " 400000 ns/op")
+	newF := writeTemp(t, "new.json", slower)
+	var sb strings.Builder
+	if err := run([]string{"-old", oldF, "-new", newF, "-threshold", "0.15",
+		"-match", "engine=deterministic"}, &sb); err != nil {
+		t.Fatalf("scoped gate must ignore the excluded regression: %v\n%s", err, sb.String())
+	}
+	if err := run([]string{"-old", oldF, "-new", newF, "-threshold", "0.15"}, &sb); err == nil {
+		t.Fatal("unscoped gate must catch the sequential regression")
+	}
+	if err := run([]string{"-old", oldF, "-new", newF,
+		"-match", "BenchmarkNoSuchThing"}, &sb); err == nil {
+		t.Fatal("a -match leaving no benchmarks must fail, not vacuously pass")
+	}
+	if err := run([]string{"-old", oldF, "-new", newF, "-match", "(["}, &sb); err == nil {
+		t.Fatal("an invalid -match regexp must be reported")
+	}
+}
+
 func TestRegressionNoCommonBenchmarks(t *testing.T) {
 	oldF := writeTemp(t, "old.json", jsonStream)
 	newF := writeTemp(t, "new.json", rawStream)

@@ -355,6 +355,9 @@ func (t *Tracker) ApplyBatch(b Batch) BatchResult {
 		}
 		t.engine.Run(t.st, touched)
 	}
+	// Between batches is a quiescent point: fold grown delta segments back
+	// into the CSR base so the next batch's pushes scan flat arrays.
+	t.st.Graph().MaybeCompact()
 	return BatchResult{
 		Applied: applied,
 		Skipped: len(b) - applied,

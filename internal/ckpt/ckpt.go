@@ -7,10 +7,32 @@
 // graph is serialized as ordered adjacency lists (summation order of later
 // pushes) rather than as an edge set.
 //
-// # Format (version 1)
+// # Format (version 2, CSR image)
+//
+//	magic       [8]byte  "DPPRCKP2"
+//	version     uint32   little-endian (2)
+//	lsn         uint64   WAL LSN covered by this checkpoint
+//	alpha       float64  IEEE-754 bits, little-endian
+//	epsilon     float64
+//	n           uvarint  number of vertices
+//	m           uvarint  number of edges
+//	outOffsets  (n+1) × uint32 little-endian   — CSR row starts, exact order
+//	outTargets  m × uint32
+//	inOffsets   (n+1) × uint32
+//	inTargets   m × uint32
+//	sources     uvarint count, count × source block
+//	crc         uint32   CRC-32C (Castagnoli) of every preceding byte
+//
+// The four arrays are the graph's CSR base segment verbatim, so a checkpoint
+// is written from a compacted graph with no per-edge work, and recovery
+// wraps the decoded arrays as the new base with no re-insertion — the
+// near-instant "CSR image" load the storage engine was reworked for.
+// Adjacency order is exact for the same reason it is in v1.
+//
+// # Format (version 1, legacy)
 //
 //	magic    [8]byte  "DPPRCKP1"
-//	version  uint32   little-endian
+//	version  uint32   little-endian (1)
 //	lsn      uint64   WAL LSN covered by this checkpoint
 //	alpha    float64  IEEE-754 bits, little-endian
 //	epsilon  float64
@@ -20,7 +42,10 @@
 //	sources  uvarint count, count × source block
 //	crc      uint32   CRC-32C (Castagnoli) of every preceding byte
 //
-// where a source block is
+// Version 1 checkpoints are still read (recovery upgrades them by writing a
+// fresh v2 image after replay); only v2 is written.
+//
+// In both versions a source block is
 //
 //	source    uvarint
 //	epoch     uint64
@@ -48,6 +73,9 @@ import (
 const (
 	magic   = "DPPRCKP1"
 	version = 1
+
+	magic2   = "DPPRCKP2"
+	version2 = 2
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -79,24 +107,31 @@ type Data struct {
 	// with; recovery must resume with the same values.
 	Alpha   float64
 	Epsilon float64
-	// Out and In are the graph's adjacency lists in exact stored order.
+	// CSR is the graph's compacted base segment. When non-nil, Encode
+	// writes the v2 CSR-image format (Out/In are ignored) and recovery can
+	// adopt the arrays as a graph base without re-inserting edges. Decoding
+	// a v2 checkpoint sets CSR and leaves Out/In nil; decoding a legacy v1
+	// checkpoint does the reverse.
+	CSR *graph.CSR
+	// Out and In are the graph's adjacency lists in exact stored order
+	// (legacy v1 representation).
 	Out, In [][]graph.VertexID
 	// Sources lists the tracked sources in ascending source order.
 	Sources []Source
 }
 
-// Encode serializes d to its binary form.
+// Encode serializes d to its binary form: the v2 CSR image when d.CSR is
+// set, the legacy v1 adjacency format otherwise.
 func Encode(d *Data) ([]byte, error) {
+	if d.CSR != nil {
+		return encodeCSR(d)
+	}
 	if len(d.Out) != len(d.In) {
 		return nil, fmt.Errorf("ckpt: adjacency mismatch: %d out slots, %d in slots", len(d.Out), len(d.In))
 	}
 	n := len(d.Out)
 	buf := make([]byte, 0, 64+16*n)
-	buf = append(buf, magic...)
-	buf = binary.LittleEndian.AppendUint32(buf, version)
-	buf = binary.LittleEndian.AppendUint64(buf, d.LSN)
-	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.Alpha))
-	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.Epsilon))
+	buf = appendHeader(buf, magic, version, d)
 	buf = binary.AppendUvarint(buf, uint64(n))
 	var err error
 	if buf, err = appendAdjacency(buf, d.Out, n); err != nil {
@@ -105,8 +140,63 @@ func Encode(d *Data) ([]byte, error) {
 	if buf, err = appendAdjacency(buf, d.In, n); err != nil {
 		return nil, err
 	}
-	buf = binary.AppendUvarint(buf, uint64(len(d.Sources)))
-	for _, s := range d.Sources {
+	if buf, err = appendSources(buf, d.Sources, n); err != nil {
+		return nil, err
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	return buf, nil
+}
+
+// encodeCSR writes the v2 image: the graph base's four CSR arrays verbatim,
+// fixed-width, so encoding cost is a flat memory copy rather than per-edge
+// varint work.
+func encodeCSR(d *Data) ([]byte, error) {
+	c := d.CSR
+	n, m := c.NumVertices(), c.NumEdges()
+	outOff, outTgt := c.RawOut()
+	inOff, inTgt := c.RawIn()
+	buf := make([]byte, 0, 64+4*(2*(n+1)+2*m))
+	buf = appendHeader(buf, magic2, version2, d)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	buf = binary.AppendUvarint(buf, uint64(m))
+	buf = appendOffsets(buf, outOff)
+	buf = appendTargets(buf, outTgt)
+	buf = appendOffsets(buf, inOff)
+	buf = appendTargets(buf, inTgt)
+	buf, err := appendSources(buf, d.Sources, n)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	return buf, nil
+}
+
+func appendHeader(buf []byte, mg string, ver uint32, d *Data) []byte {
+	buf = append(buf, mg...)
+	buf = binary.LittleEndian.AppendUint32(buf, ver)
+	buf = binary.LittleEndian.AppendUint64(buf, d.LSN)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.Alpha))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.Epsilon))
+	return buf
+}
+
+func appendOffsets(buf []byte, offsets []int32) []byte {
+	for _, x := range offsets {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+	}
+	return buf
+}
+
+func appendTargets(buf []byte, targets []graph.VertexID) []byte {
+	for _, v := range targets {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	return buf
+}
+
+func appendSources(buf []byte, sources []Source, n int) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(len(sources)))
+	for _, s := range sources {
 		if s.Source < 0 || int(s.Source) >= n {
 			return nil, fmt.Errorf("ckpt: source %d outside [0,%d)", s.Source, n)
 		}
@@ -128,7 +218,6 @@ func Encode(d *Data) ([]byte, error) {
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
 		}
 	}
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
 	return buf, nil
 }
 
@@ -153,7 +242,8 @@ func Decode(data []byte) (*Data, error) {
 	if len(data) < len(magic)+4+4 {
 		return nil, fmt.Errorf("%w: %d bytes is shorter than the envelope", ErrInvalid, len(data))
 	}
-	if string(data[:len(magic)]) != magic {
+	mg := string(data[:len(magic)])
+	if mg != magic && mg != magic2 {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrInvalid, data[:len(magic)])
 	}
 	body, trailer := data[:len(data)-4], data[len(data)-4:]
@@ -161,54 +251,34 @@ func Decode(data []byte) (*Data, error) {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrInvalid)
 	}
 	r := &reader{b: body, off: len(magic)}
-	if v := r.u32(); v != version {
-		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrInvalid, v, version)
-	}
+	v := r.u32()
 	d := &Data{}
 	d.LSN = r.u64()
 	d.Alpha = math.Float64frombits(r.u64())
 	d.Epsilon = math.Float64frombits(r.u64())
-	n, err := r.count(1)
-	if err != nil {
-		return nil, err
-	}
-	if d.Out, err = r.adjacency(n); err != nil {
-		return nil, err
-	}
-	if d.In, err = r.adjacency(n); err != nil {
-		return nil, err
-	}
-	numSources, err := r.count(1 + 8 + 1)
-	if err != nil {
-		return nil, err
-	}
-	d.Sources = make([]Source, 0, numSources)
-	var prev graph.VertexID = -1
-	for i := 0; i < numSources; i++ {
-		var s Source
-		src, err := r.vertex(n)
-		if err != nil {
-			return nil, fmt.Errorf("%w: source %d: %v", ErrInvalid, i, err)
-		}
-		if src <= prev {
-			return nil, fmt.Errorf("%w: sources not in ascending order (%d after %d)", ErrInvalid, src, prev)
-		}
-		prev = src
-		s.Source = src
-		s.Epoch = r.u64()
-		vecLen, err := r.count(16)
+	var n int
+	var err error
+	switch {
+	case mg == magic && v == version:
+		n, err = r.count(1)
 		if err != nil {
 			return nil, err
 		}
-		if vecLen > n || int(src) >= vecLen {
-			return nil, fmt.Errorf("%w: source %d vector length %d outside (%d,%d]", ErrInvalid, src, vecLen, src, n)
+		if d.Out, err = r.adjacency(n); err != nil {
+			return nil, err
 		}
-		s.Estimates = r.floats(vecLen)
-		s.Residuals = r.floats(vecLen)
-		if r.err != nil {
-			return nil, r.err
+		if d.In, err = r.adjacency(n); err != nil {
+			return nil, err
 		}
-		d.Sources = append(d.Sources, s)
+	case mg == magic2 && v == version2:
+		if n, err = r.csr(d); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: unsupported version %d for magic %q", ErrInvalid, v, mg)
+	}
+	if d.Sources, err = r.sources(n); err != nil {
+		return nil, err
 	}
 	if r.err != nil {
 		return nil, r.err
@@ -340,6 +410,110 @@ func (r *reader) adjacency(n int) ([][]graph.VertexID, error) {
 		lists[u] = nbrs
 	}
 	return lists, nil
+}
+
+// csr reads the v2 body's four fixed-width CSR arrays into d.CSR, validating
+// the structural invariants via graph.NewCSR, and returns the vertex count.
+func (r *reader) csr(d *Data) (int, error) {
+	// Every vertex occupies at least 8 bytes (one uint32 offset in each
+	// direction) and every edge at least 8 (one uint32 target in each
+	// direction), so forged counts cannot force allocations past the input.
+	n, err := r.count(8)
+	if err != nil {
+		return 0, err
+	}
+	if n > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: vertex count %d exceeds id range", ErrInvalid, n)
+	}
+	m, err := r.count(8)
+	if err != nil {
+		return 0, err
+	}
+	outOffsets := r.int32s(n + 1)
+	outTargets := r.vertexIDs(m)
+	inOffsets := r.int32s(n + 1)
+	inTargets := r.vertexIDs(m)
+	if r.err != nil {
+		return 0, r.err
+	}
+	c, err := graph.NewCSR(outOffsets, inOffsets, outTargets, inTargets)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	d.CSR = c
+	return n, nil
+}
+
+// sources reads the trailing source blocks shared by both format versions.
+func (r *reader) sources(n int) ([]Source, error) {
+	numSources, err := r.count(1 + 8 + 1)
+	if err != nil {
+		return nil, err
+	}
+	sources := make([]Source, 0, numSources)
+	var prev graph.VertexID = -1
+	for i := 0; i < numSources; i++ {
+		var s Source
+		src, err := r.vertex(n)
+		if err != nil {
+			return nil, fmt.Errorf("%w: source %d: %v", ErrInvalid, i, err)
+		}
+		if src <= prev {
+			return nil, fmt.Errorf("%w: sources not in ascending order (%d after %d)", ErrInvalid, src, prev)
+		}
+		prev = src
+		s.Source = src
+		s.Epoch = r.u64()
+		vecLen, err := r.count(16)
+		if err != nil {
+			return nil, err
+		}
+		if vecLen > n || int(src) >= vecLen {
+			return nil, fmt.Errorf("%w: source %d vector length %d outside (%d,%d]", ErrInvalid, src, vecLen, src, n)
+		}
+		s.Estimates = r.floats(vecLen)
+		s.Residuals = r.floats(vecLen)
+		if r.err != nil {
+			return nil, r.err
+		}
+		sources = append(sources, s)
+	}
+	return sources, nil
+}
+
+// int32s reads count little-endian uint32 values as int32. Values with the
+// high bit set decode negative and are rejected downstream by the CSR
+// validator, never interpreted as lengths.
+func (r *reader) int32s(count int) []int32 {
+	if r.err != nil {
+		return nil
+	}
+	if count > r.remaining()/4 {
+		r.setTruncated()
+		return nil
+	}
+	out := make([]int32, count)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(r.b[r.off:]))
+		r.off += 4
+	}
+	return out
+}
+
+func (r *reader) vertexIDs(count int) []graph.VertexID {
+	if r.err != nil {
+		return nil
+	}
+	if count > r.remaining()/4 {
+		r.setTruncated()
+		return nil
+	}
+	out := make([]graph.VertexID, count)
+	for i := range out {
+		out[i] = graph.VertexID(int32(binary.LittleEndian.Uint32(r.b[r.off:])))
+		r.off += 4
+	}
+	return out
 }
 
 func (r *reader) floats(n int) []float64 {

@@ -1,6 +1,8 @@
 package ckpt
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"math"
 	"reflect"
 	"testing"
@@ -15,6 +17,7 @@ func dataEqual(a, b *Data) bool {
 		math.Float64bits(a.Alpha) != math.Float64bits(b.Alpha) ||
 		math.Float64bits(a.Epsilon) != math.Float64bits(b.Epsilon) ||
 		!reflect.DeepEqual(a.Out, b.Out) || !reflect.DeepEqual(a.In, b.In) ||
+		!csrEqual(a.CSR, b.CSR) ||
 		len(a.Sources) != len(b.Sources) {
 		return false
 	}
@@ -29,6 +32,47 @@ func dataEqual(a, b *Data) bool {
 				math.Float64bits(sa.Residuals[j]) != math.Float64bits(sb.Residuals[j]) {
 				return false
 			}
+		}
+	}
+	return true
+}
+
+// csrEqual compares two CSR images element by element, treating nil and
+// empty target arrays as equal (decode always allocates, snapshots may not).
+func csrEqual(a, b *graph.CSR) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	aOutOff, aOutTgt := a.RawOut()
+	bOutOff, bOutTgt := b.RawOut()
+	aInOff, aInTgt := a.RawIn()
+	bInOff, bInTgt := b.RawIn()
+	return int32sEqual(aOutOff, bOutOff) && int32sEqual(aInOff, bInOff) &&
+		vertexIDsEqual(aOutTgt, bOutTgt) && vertexIDsEqual(aInTgt, bInTgt)
+}
+
+func int32sEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func vertexIDsEqual(a, b []graph.VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
 	}
 	return true
@@ -105,4 +149,107 @@ func FuzzCheckpointRead(f *testing.F) {
 			}
 		}
 	})
+}
+
+// sampleCSRData builds a v2 checkpoint value around a compacted CSR base.
+func sampleCSRData() *Data {
+	g := graph.FromEdges([]graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}, {U: 3, V: 0}, {U: 3, V: 1}})
+	return &Data{
+		LSN:     21,
+		Alpha:   0.15,
+		Epsilon: 1e-6,
+		CSR:     g.CompactedSnapshot(),
+		Sources: []Source{
+			{Source: 0, Epoch: 5, Estimates: []float64{0.4, 0.3, 0.3}, Residuals: []float64{0, 1e-7, 0}},
+			{Source: 3, Epoch: 2, Estimates: []float64{0.1, 0.2, 0.2, 0.5}, Residuals: []float64{0, 0, -1e-8, 0}},
+		},
+	}
+}
+
+// FuzzCSRImageRead drives Decode with arbitrary bytes aimed at the v2 CSR
+// image path. The strict-reader contract: truncation, checksum damage,
+// version skew, forged counts and malformed CSR structure must all return
+// ErrInvalid — never a panic and never an allocation proportional to a
+// forged count rather than the actual input size — and any accepted image
+// must re-encode/decode bit-identically and wrap into a consistent graph
+// with no re-insertion.
+func FuzzCSRImageRead(f *testing.F) {
+	valid, err := Encode(sampleCSRData())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5]) // truncated: checksum and arrays cut off
+	f.Add(valid[:30])           // truncated inside the CSR arrays
+	f.Add([]byte("DPPRCKP2"))
+	f.Add([]byte("DPPRCKP2\x02\x00\x00\x00junk"))
+
+	// Checksum damage: flip one bit mid-array.
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/2] ^= 0x10
+	f.Add(flip)
+
+	// Version skew: v2 magic with a future version and a recomputed
+	// checksum — the version gate must reject it, not the CRC.
+	future := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(future[8:], version2+1)
+	f.Add(resealCRC(future))
+
+	// Cross-version skew: v1 magic carrying the v2 version number.
+	skew := append([]byte(nil), valid...)
+	copy(skew, magic)
+	f.Add(resealCRC(skew))
+
+	// Forged vertex count far past the input size: the count guard must
+	// reject it before allocating.
+	forged := append([]byte(nil), valid...)
+	forged[36] = 0xFF // n uvarint lives right after the 36-byte header
+	f.Add(resealCRC(forged))
+
+	// Empty graph: n=0, m=0 is a legal image.
+	empty, err := Encode(&Data{Alpha: 0.5, Epsilon: 1, CSR: graph.New(0).CompactedSnapshot()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(data)
+		if err != nil {
+			return
+		}
+		buf, err := Encode(d)
+		if err != nil {
+			t.Fatalf("re-encode of accepted checkpoint: %v", err)
+		}
+		d2, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("re-decode of accepted checkpoint: %v", err)
+		}
+		if !dataEqual(d, d2) {
+			t.Fatalf("round trip changed the checkpoint:\n%+v\n%+v", d, d2)
+		}
+		if d.CSR == nil {
+			return // v1 input wandered in; FuzzCheckpointRead owns that path
+		}
+		// An accepted image must already satisfy every CSR invariant: the
+		// zero-copy recovery graph it backs is consistent as-is.
+		g := graph.FromCSR(d.CSR)
+		if cerr := g.CheckConsistency(); cerr != nil {
+			t.Fatalf("accepted CSR image is inconsistent: %v", cerr)
+		}
+		for _, s := range d.Sources {
+			if len(s.Estimates) != len(s.Residuals) || int(s.Source) >= len(s.Estimates) {
+				t.Fatalf("decoded source %d with malformed vectors", s.Source)
+			}
+		}
+	})
+}
+
+// resealCRC recomputes the trailing checksum so damage to the body tests the
+// semantic gates rather than the CRC.
+func resealCRC(buf []byte) []byte {
+	body := buf[:len(buf)-4]
+	binary.LittleEndian.PutUint32(buf[len(buf)-4:], crc32.Checksum(body, castagnoli))
+	return buf
 }

@@ -1,0 +1,113 @@
+package graph
+
+// Compaction is an in-flight merge of the delta segments into a new base.
+// The expensive half — materializing the merged CSR — runs anywhere (a
+// background goroutine); Install hands the result back to the goroutine that
+// owns the graph. The protocol:
+//
+//	c := g.BeginCompaction()   // on the owner: O(#overlaid) freeze
+//	base := c.Build()          // anywhere: O(n+m) merge, owner keeps mutating
+//	g.Install(c, base)         // on the owner: O(#overlaid) swap
+//
+// Install drops exactly the delta segments whose content the frozen view
+// captured (their data is now in the new base) and keeps segments written
+// after the freeze — each is a complete adjacency list, so it shadows the
+// new base just as correctly as it shadowed the old one. Logical graph
+// content is therefore unchanged, element order included, which is what
+// keeps float summation — and every differential bit-identity guarantee —
+// stable across compaction.
+type Compaction struct {
+	view *View
+	gen  uint64 // delta segments with generation < gen are covered by view
+}
+
+// BeginCompaction freezes the current state as the compaction input.
+func (g *Graph) BeginCompaction() *Compaction {
+	v := g.View()
+	return &Compaction{view: v, gen: g.viewGen}
+}
+
+// Build materializes the merged base segment. It reads only the frozen view,
+// so it may run concurrently with further mutations of the graph.
+func (c *Compaction) Build() *CSR {
+	return c.view.CSR()
+}
+
+// Install swaps in the compacted base and prunes the delta segments it
+// absorbed. It returns false without touching the graph when the base moved
+// since BeginCompaction (an inline Compact or a checkpoint won the race) —
+// the built CSR then describes a stale epoch and is discarded.
+func (g *Graph) Install(c *Compaction, base *CSR) bool {
+	if g.epoch != c.view.epoch {
+		return false
+	}
+	g.base = base
+	kept := g.overlaid[:0]
+	delta := 0
+	for _, u := range g.overlaid {
+		if g.outOv[u] != nil {
+			if g.outGen[u] < c.gen {
+				g.outOv[u] = nil
+			} else {
+				delta += len(g.outOv[u])
+			}
+		}
+		if g.inOv[u] != nil {
+			if g.inGen[u] < c.gen {
+				g.inOv[u] = nil
+			} else {
+				delta += len(g.inOv[u])
+			}
+		}
+		if g.outOv[u] != nil || g.inOv[u] != nil {
+			kept = append(kept, u)
+		}
+	}
+	g.overlaid = kept
+	g.deltaEdges = delta
+	g.epoch++
+	return true
+}
+
+// Compact synchronously merges every delta segment into a fresh base. The
+// logical graph is unchanged; afterwards all reads hit the flat CSR arrays.
+func (g *Graph) Compact() {
+	if len(g.overlaid) == 0 && g.base.n == g.n {
+		return
+	}
+	g.base = g.Snapshot()
+	for _, u := range g.overlaid {
+		g.outOv[u] = nil
+		g.inOv[u] = nil
+	}
+	g.overlaid = g.overlaid[:0]
+	g.deltaEdges = 0
+	g.epoch++
+}
+
+// autoCompactMinDelta is the floor below which MaybeCompact never bothers:
+// compacting a tiny delta trades an O(n+m) rebuild for nothing.
+const autoCompactMinDelta = 4096
+
+// MaybeCompact compacts when the delta segments have grown to the order of
+// the live edge count (delta entries count both directions, so the trigger
+// fires when roughly half the adjacency lives in overlays). Trackers call it
+// after each batch; the amortized cost is O(1) per delta entry. It reports
+// whether a compaction ran.
+func (g *Graph) MaybeCompact() bool {
+	if g.deltaEdges < autoCompactMinDelta || g.deltaEdges < g.m {
+		return false
+	}
+	g.Compact()
+	return true
+}
+
+// CompactedSnapshot compacts the graph (a no-op when there are no deltas)
+// and returns the resulting base segment, which callers may retain and share
+// freely: it is immutable and already covers every vertex. This is the
+// checkpoint writer's entry point — checkpointing doubles as a full
+// compaction, and a freshly compacted graph checkpoints with zero copying.
+func (g *Graph) CompactedSnapshot() *CSR {
+	g.Compact()
+	return g.base
+}

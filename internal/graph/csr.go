@@ -1,9 +1,14 @@
 package graph
 
-// CSR is an immutable compressed-sparse-row snapshot of a graph, in both
-// directions. The vertex-centric baseline and the power-iteration oracle use
-// CSR snapshots because they operate on a frozen graph per batch, while the
-// dynamic engines read the live adjacency lists directly.
+import "fmt"
+
+// CSR is an immutable compressed-sparse-row segment of a graph, in both
+// directions. It is the base segment of the LSM-style store (every Graph
+// reads through to one), the frozen view the vertex-centric baseline and the
+// power-iteration oracle operate on, and — serialized verbatim — the
+// checkpoint image format that makes recovery a bulk load instead of an edge
+// replay. Accessors assume ids in [0, NumVertices()); Graph and View perform
+// the bounds checks before delegating.
 type CSR struct {
 	n int
 
@@ -14,9 +19,20 @@ type CSR struct {
 	inTargets []VertexID
 }
 
-// Snapshot builds a CSR copy of the current graph state.
+func emptyCSR() *CSR {
+	return &CSR{outOffsets: []int32{0}, inOffsets: []int32{0}}
+}
+
+// Snapshot builds a CSR copy of the current graph state, merging the base
+// segment with any delta segments. Per-vertex adjacency order is the logical
+// order (overlay order for touched vertices, base order otherwise), so a
+// snapshot is bit-compatible with the live graph for any float summation.
 func (g *Graph) Snapshot() *CSR {
-	n := len(g.out)
+	return buildCSR(g.n, g.OutNeighbors, g.InNeighbors)
+}
+
+// buildCSR materializes a CSR from any pair of adjacency accessors.
+func buildCSR(n int, out, in func(VertexID) []VertexID) *CSR {
 	c := &CSR{
 		n:          n,
 		outOffsets: make([]int32, n+1),
@@ -25,18 +41,150 @@ func (g *Graph) Snapshot() *CSR {
 	totalOut := 0
 	totalIn := 0
 	for i := 0; i < n; i++ {
-		totalOut += len(g.out[i])
-		totalIn += len(g.in[i])
+		totalOut += len(out(VertexID(i)))
+		totalIn += len(in(VertexID(i)))
 		c.outOffsets[i+1] = int32(totalOut)
 		c.inOffsets[i+1] = int32(totalIn)
 	}
 	c.outTargets = make([]VertexID, 0, totalOut)
 	c.inTargets = make([]VertexID, 0, totalIn)
 	for i := 0; i < n; i++ {
-		c.outTargets = append(c.outTargets, g.out[i]...)
-		c.inTargets = append(c.inTargets, g.in[i]...)
+		c.outTargets = append(c.outTargets, out(VertexID(i))...)
+		c.inTargets = append(c.inTargets, in(VertexID(i))...)
 	}
 	return c
+}
+
+// csrFromEdges builds a CSR directly from a deduplicated edge list,
+// preserving first-occurrence order per vertex in both directions.
+func csrFromEdges(n int, edges []Edge) *CSR {
+	c := &CSR{
+		n:          n,
+		outOffsets: make([]int32, n+1),
+		inOffsets:  make([]int32, n+1),
+		outTargets: make([]VertexID, len(edges)),
+		inTargets:  make([]VertexID, len(edges)),
+	}
+	for _, e := range edges {
+		c.outOffsets[e.U+1]++
+		c.inOffsets[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		c.outOffsets[i+1] += c.outOffsets[i]
+		c.inOffsets[i+1] += c.inOffsets[i]
+	}
+	// next[u] tracks the fill cursor per vertex; after the fill it has
+	// advanced to the next vertex's start offset.
+	nextOut := make([]int32, n)
+	nextIn := make([]int32, n)
+	copy(nextOut, c.outOffsets[:n])
+	copy(nextIn, c.inOffsets[:n])
+	for _, e := range edges {
+		c.outTargets[nextOut[e.U]] = e.V
+		nextOut[e.U]++
+		c.inTargets[nextIn[e.V]] = e.U
+		nextIn[e.V]++
+	}
+	return c
+}
+
+// csrFromAdjacency copies explicit adjacency lists (already validated by the
+// caller) into CSR form, preserving element order.
+func csrFromAdjacency(out, in [][]VertexID) *CSR {
+	n := len(out)
+	return buildCSR(n,
+		func(u VertexID) []VertexID { return out[u] },
+		func(v VertexID) []VertexID { return in[v] })
+}
+
+// NewCSR assembles a CSR from raw offset/target arrays, taking ownership of
+// the slices. It is the strict entry point for deserialized checkpoint
+// images: the structure is validated — offset arrays of equal length n+1,
+// monotone, starting at 0 and ending at the target count; targets in range;
+// and per-vertex in-degrees consistent with the out lists — before anything
+// is wrapped, so a corrupted image yields an error, never a CSR that can
+// panic a reader later. (Byte-level integrity is the checkpoint CRC's job;
+// this guards structure.)
+func NewCSR(outOffsets, inOffsets []int32, outTargets, inTargets []VertexID) (*CSR, error) {
+	if len(outOffsets) == 0 || len(outOffsets) != len(inOffsets) {
+		return nil, fmt.Errorf("graph: csr offset arrays have %d/%d entries", len(outOffsets), len(inOffsets))
+	}
+	n := len(outOffsets) - 1
+	if len(outTargets) != len(inTargets) {
+		return nil, fmt.Errorf("graph: csr has %d out targets but %d in targets", len(outTargets), len(inTargets))
+	}
+	if err := checkOffsets("out", outOffsets, len(outTargets)); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("in", inOffsets, len(inTargets)); err != nil {
+		return nil, err
+	}
+	for _, v := range outTargets {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("graph: csr out target %d outside [0,%d)", v, n)
+		}
+	}
+	for _, u := range inTargets {
+		if u < 0 || int(u) >= n {
+			return nil, fmt.Errorf("graph: csr in target %d outside [0,%d)", u, n)
+		}
+	}
+	// Cross-check the directions degree-wise: the in-degree of every vertex
+	// must match the number of out entries naming it (and symmetrically).
+	deg := make([]int32, n)
+	for _, v := range outTargets {
+		deg[v]++
+	}
+	for i := 0; i < n; i++ {
+		if got := inOffsets[i+1] - inOffsets[i]; got != deg[i] {
+			return nil, fmt.Errorf("graph: csr vertex %d has %d in entries but %d out entries name it", i, got, deg[i])
+		}
+	}
+	for i := range deg {
+		deg[i] = 0
+	}
+	for _, u := range inTargets {
+		deg[u]++
+	}
+	for i := 0; i < n; i++ {
+		if got := outOffsets[i+1] - outOffsets[i]; got != deg[i] {
+			return nil, fmt.Errorf("graph: csr vertex %d has %d out entries but %d in entries name it", i, got, deg[i])
+		}
+	}
+	return &CSR{
+		n:          n,
+		outOffsets: outOffsets,
+		outTargets: outTargets,
+		inOffsets:  inOffsets,
+		inTargets:  inTargets,
+	}, nil
+}
+
+func checkOffsets(dir string, offsets []int32, m int) error {
+	if offsets[0] != 0 {
+		return fmt.Errorf("graph: csr %s offsets start at %d, want 0", dir, offsets[0])
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			return fmt.Errorf("graph: csr %s offsets decrease at vertex %d", dir, i-1)
+		}
+	}
+	if int(offsets[len(offsets)-1]) != m {
+		return fmt.Errorf("graph: csr %s offsets end at %d, want %d", dir, offsets[len(offsets)-1], m)
+	}
+	return nil
+}
+
+// RawOut exposes the underlying out-direction arrays (offsets has n+1
+// entries, targets one per edge). Read-only: the arrays are the live segment.
+func (c *CSR) RawOut() (offsets []int32, targets []VertexID) {
+	return c.outOffsets, c.outTargets
+}
+
+// RawIn exposes the underlying in-direction arrays with the same contract as
+// RawOut.
+func (c *CSR) RawIn() (offsets []int32, targets []VertexID) {
+	return c.inOffsets, c.inTargets
 }
 
 // NumVertices returns the number of vertices in the snapshot.

@@ -1,0 +1,148 @@
+package graph
+
+// Adjacency is the read-only neighbor-access surface shared by *CSR, *View
+// and *Graph. Code that only walks a frozen graph (cold pushes, random
+// walks, oracles) can accept any of the three. Accessor behavior for
+// out-of-range ids follows the implementing type: Graph and View return
+// 0/nil, CSR assumes in-range ids.
+type Adjacency interface {
+	NumVertices() int
+	OutDegree(u VertexID) int
+	InDegree(v VertexID) int
+	OutNeighbors(u VertexID) []VertexID
+	InNeighbors(v VertexID) []VertexID
+}
+
+var (
+	_ Adjacency = (*CSR)(nil)
+	_ Adjacency = (*View)(nil)
+	_ Adjacency = (*Graph)(nil)
+)
+
+// viewOverlay is one vertex's frozen delta segments. hasOut/hasIn
+// distinguish "direction overlaid (possibly with zero edges)" from
+// "direction reads the base".
+type viewOverlay struct {
+	out, in       []VertexID
+	hasOut, hasIn bool
+}
+
+// View is a frozen, immutable view of the layered graph state: the shared
+// base segment plus the delta segments present when the view was taken.
+// Building one costs O(#overlaid vertices) — proportional to what recent
+// batches touched, not to graph size — which is what lets the on-demand
+// query path stop materializing a full CSR per graph generation. A View is
+// safe for concurrent readers and stays valid (and logically unchanged)
+// across later graph mutations and compactions: mutations clone or extend
+// past the frozen segment bounds, and compaction only swaps segments the
+// view does not reference.
+type View struct {
+	base *CSR
+	ov   map[VertexID]viewOverlay // nil when the graph was fully compacted
+	n, m int
+
+	epoch      uint64
+	deltaEdges int
+}
+
+// View captures the current graph state. It seals every live delta segment:
+// a later RemoveEdge on one of them copies the segment instead of editing it
+// in place (appends need no copy — the view's slice bounds its reads).
+func (g *Graph) View() *View {
+	g.viewGen++
+	v := &View{
+		base:       g.base,
+		n:          g.n,
+		m:          g.m,
+		epoch:      g.epoch,
+		deltaEdges: g.deltaEdges,
+	}
+	if len(g.overlaid) > 0 {
+		v.ov = make(map[VertexID]viewOverlay, len(g.overlaid))
+		for _, u := range g.overlaid {
+			var o viewOverlay
+			if s := g.outOv[u]; s != nil {
+				o.out, o.hasOut = s, true
+			}
+			if s := g.inOv[u]; s != nil {
+				o.in, o.hasIn = s, true
+			}
+			v.ov[u] = o
+		}
+	}
+	return v
+}
+
+// NumVertices returns the number of vertices in the view.
+func (v *View) NumVertices() int { return v.n }
+
+// NumEdges returns the number of directed edges in the view.
+func (v *View) NumEdges() int { return v.m }
+
+// Epoch returns the base-segment epoch the view pins.
+func (v *View) Epoch() uint64 { return v.epoch }
+
+// DeltaEdges returns the number of delta-segment adjacency entries layered
+// over the base — the touched-proportional cost of having built this view.
+func (v *View) DeltaEdges() int { return v.deltaEdges }
+
+// OverlaidVertices returns the number of vertices read from delta segments
+// rather than the base.
+func (v *View) OverlaidVertices() int { return len(v.ov) }
+
+// Base returns the pinned CSR base segment when the view carries no deltas,
+// and nil otherwise. Readers with a fast path for flat CSR data (the cold
+// push, the walk refinement) use it to skip per-vertex overlay lookups in
+// the common freshly-compacted case.
+func (v *View) Base() *CSR {
+	if len(v.ov) == 0 && v.base.n == v.n {
+		return v.base
+	}
+	return nil
+}
+
+// OutDegree returns the out-degree of u (0 for out-of-range ids).
+func (v *View) OutDegree(u VertexID) int { return len(v.OutNeighbors(u)) }
+
+// InDegree returns the in-degree of u (0 for out-of-range ids).
+func (v *View) InDegree(u VertexID) int { return len(v.InNeighbors(u)) }
+
+// OutNeighbors returns the out-neighbors of u. The slice is immutable for
+// the lifetime of the view.
+func (v *View) OutNeighbors(u VertexID) []VertexID {
+	if u < 0 || int(u) >= v.n {
+		return nil
+	}
+	if v.ov != nil {
+		if o, ok := v.ov[u]; ok && o.hasOut {
+			return o.out
+		}
+	}
+	if int(u) < v.base.n {
+		return v.base.OutNeighbors(u)
+	}
+	return nil
+}
+
+// InNeighbors returns the in-neighbors of u with the same contract as
+// OutNeighbors.
+func (v *View) InNeighbors(u VertexID) []VertexID {
+	if u < 0 || int(u) >= v.n {
+		return nil
+	}
+	if v.ov != nil {
+		if o, ok := v.ov[u]; ok && o.hasIn {
+			return o.in
+		}
+	}
+	if int(u) < v.base.n {
+		return v.base.InNeighbors(u)
+	}
+	return nil
+}
+
+// CSR materializes the view into a flat CSR, preserving logical adjacency
+// order. This is the off-pipeline half of a background compaction.
+func (v *View) CSR() *CSR {
+	return buildCSR(v.n, v.OutNeighbors, v.InNeighbors)
+}

@@ -6,16 +6,19 @@ import (
 	"dynppr/internal/graph"
 )
 
-// WalkEndpointCSR simulates one α-terminating random walk from start on a
-// frozen CSR snapshot and returns the vertex where it stops. It uses the
-// same step rule as the dynamic Estimator (terminate with probability α per
-// step, otherwise move to a uniform out-neighbor, stop at dangling vertices
-// and after maxLen steps), so a caller refining a push result draws from the
-// identical walk distribution the incremental baseline maintains.
+// WalkEndpoint simulates one α-terminating random walk from start on any
+// frozen adjacency (a CSR snapshot or a layered graph view) and returns the
+// vertex where it stops. It uses the same step rule as the dynamic Estimator
+// (terminate with probability α per step, otherwise move to a uniform
+// out-neighbor, stop at dangling vertices and after maxLen steps), so a
+// caller refining a push result draws from the identical walk distribution
+// the incremental baseline maintains. Only neighbor order matters to the
+// endpoint stream, so a CSR and a view of the same logical graph yield
+// identical walks.
 //
 // Determinism is the caller's contract: all randomness comes from rng, so a
 // fixed seed and a fixed snapshot reproduce the same endpoint sequence.
-func WalkEndpointCSR(c *graph.CSR, start graph.VertexID, alpha float64, maxLen int, rng *rand.Rand) graph.VertexID {
+func WalkEndpoint(a graph.Adjacency, start graph.VertexID, alpha float64, maxLen int, rng *rand.Rand) graph.VertexID {
 	if maxLen <= 0 {
 		maxLen = 1000
 	}
@@ -24,11 +27,16 @@ func WalkEndpointCSR(c *graph.CSR, start graph.VertexID, alpha float64, maxLen i
 		if rng.Float64() < alpha {
 			break
 		}
-		out := c.OutNeighbors(cur)
+		out := a.OutNeighbors(cur)
 		if len(out) == 0 {
 			break
 		}
 		cur = out[rng.Intn(len(out))]
 	}
 	return cur
+}
+
+// WalkEndpointCSR is WalkEndpoint specialized to a CSR snapshot.
+func WalkEndpointCSR(c *graph.CSR, start graph.VertexID, alpha float64, maxLen int, rng *rand.Rand) graph.VertexID {
+	return WalkEndpoint(c, start, alpha, maxLen, rng)
 }

@@ -50,6 +50,15 @@ type ColdPushResult struct {
 // is always by the out-degree of an in-neighbor, which is ≥ 1 by
 // construction, so dangling vertices need no special case: one with no
 // in-edges simply never accumulates residual (its exact value is α·1{v=s}).
+//
+// ColdPush is the same algorithm over any graph.Adjacency — in particular a
+// layered graph.View, which is how a cold query runs right after a batch
+// without paying for a full CSR rebuild. The two are kept as separate bodies
+// deliberately: the CSR loop is the hot steady-state path (the on-demand
+// cache hands out the bare base segment whenever the graph is compacted) and
+// must stay free of interface dispatch, while the layered path trades a few
+// ns/edge for touched-proportional setup. A differential test pins them to
+// bit-identical results.
 func ColdPushCSR(c *graph.CSR, source graph.VertexID, cfg Config, maxPushes int64) (*ColdPushResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -89,6 +98,65 @@ func ColdPushCSR(c *graph.CSR, source graph.VertexID, cfg Config, maxPushes int6
 		r[u] = 0
 		for _, v := range c.InNeighbors(u) {
 			r[v] += (1 - alpha) * ru / float64(c.OutDegree(v))
+			if r[v] > eps && !inQueue[v] {
+				inQueue[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+
+	for _, rv := range r {
+		res.ResidualMass += rv
+		if rv > res.MaxResidual {
+			res.MaxResidual = rv
+		}
+	}
+	return res, nil
+}
+
+// ColdPush runs the identical cold push over any frozen adjacency (see
+// ColdPushCSR for the algorithm and the two-body rationale). Push order,
+// and therefore every floating-point sum, matches ColdPushCSR exactly on a
+// logically equal graph.
+func ColdPush(a graph.Adjacency, source graph.VertexID, cfg Config, maxPushes int64) (*ColdPushResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := a.NumVertices()
+	if source < 0 || int(source) >= n {
+		return nil, fmt.Errorf("push: source %d outside snapshot vertex range [0,%d)", source, n)
+	}
+	res := &ColdPushResult{
+		Estimates: make([]float64, n),
+		Residuals: make([]float64, n),
+	}
+	r := res.Residuals
+	p := res.Estimates
+	r[source] = 1
+
+	queue := make([]graph.VertexID, 0, 64)
+	queue = append(queue, source)
+	inQueue := make([]bool, n)
+	inQueue[source] = true
+	alpha, eps := cfg.Alpha, cfg.Epsilon
+
+	for len(queue) > 0 {
+		if maxPushes > 0 && res.Pushes >= maxPushes {
+			res.Capped = true
+			break
+		}
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		ru := r[u]
+		if ru <= eps {
+			continue
+		}
+		res.Pushes++
+		p[u] += alpha * ru
+		r[u] = 0
+		for _, v := range a.InNeighbors(u) {
+			r[v] += (1 - alpha) * ru / float64(a.OutDegree(v))
 			if r[v] > eps && !inQueue[v] {
 				inQueue[v] = true
 				queue = append(queue, v)

@@ -98,6 +98,78 @@ func TestColdPushCSRCapped(t *testing.T) {
 // agreement directly: a live tracker state cold-started by the Sequential
 // engine and a one-shot ColdPushCSR at the same ε land within the sum of
 // their per-vertex bounds of each other.
+// TestColdPushMatchesColdPushCSR pins the two bodies of the one-shot push to
+// bit-identical results: the Adjacency-interface twin running over a layered
+// View (base CSR plus live delta overlays) must produce exactly the floats
+// the concrete-CSR body produces on the materialized snapshot of the same
+// view, capped and uncapped. Iteration order is the whole contract — the
+// LSM store preserves adjacency order across overlays, so the FIFO push
+// visits neighbors identically and every float64 sum associates identically.
+func TestColdPushMatchesColdPushCSR(t *testing.T) {
+	list, err := gen.EdgeList(gen.Config{Model: gen.ErdosRenyi, Vertices: 300, Edges: 1800, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.FromEdges(list)
+	// Dirty a slice of vertices so the view carries real delta overlays:
+	// adds, deletes, and one fully-deleted adjacency.
+	for v := 0; v < 40; v += 4 {
+		if _, err := g.AddEdge(graph.VertexID(v), graph.VertexID(v+7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range g.OutNeighbors(5) {
+		if err := g.RemoveEdge(5, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	view := g.View()
+	if view.Base() != nil {
+		t.Fatal("view with overlays must not expose a bare base")
+	}
+	snap := view.CSR()
+	for _, maxPushes := range []int64{0, 50} {
+		a, err := ColdPush(view, 0, Config{Alpha: 0.15, Epsilon: 1e-5}, maxPushes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ColdPushCSR(snap, 0, Config{Alpha: 0.15, Epsilon: 1e-5}, maxPushes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Pushes != b.Pushes || a.Capped != b.Capped ||
+			math.Float64bits(a.MaxResidual) != math.Float64bits(b.MaxResidual) {
+			t.Fatalf("maxPushes=%d: metadata diverged: %+v vs %+v", maxPushes, a, b)
+		}
+		for v := range a.Estimates {
+			if math.Float64bits(a.Estimates[v]) != math.Float64bits(b.Estimates[v]) {
+				t.Fatalf("maxPushes=%d vertex %d: %g vs %g (bit mismatch)",
+					maxPushes, v, a.Estimates[v], b.Estimates[v])
+			}
+		}
+	}
+	// After compaction the view exposes its bare base and the interface twin
+	// must still agree with the concrete body on it.
+	base := g.CompactedSnapshot()
+	cview := g.View()
+	if cview.Base() != base {
+		t.Fatal("compacted view must expose the bare base CSR")
+	}
+	a, err := ColdPush(cview, 1, Config{Alpha: 0.15, Epsilon: 1e-5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ColdPushCSR(base, 1, Config{Alpha: 0.15, Epsilon: 1e-5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Estimates {
+		if math.Float64bits(a.Estimates[v]) != math.Float64bits(b.Estimates[v]) {
+			t.Fatalf("compacted vertex %d: %g vs %g", v, a.Estimates[v], b.Estimates[v])
+		}
+	}
+}
+
 func TestColdPushCSRAgreesWithLiveColdStart(t *testing.T) {
 	list, err := gen.EdgeList(gen.Config{Model: gen.ErdosRenyi, Vertices: 200, Edges: 1200, Seed: 3})
 	if err != nil {

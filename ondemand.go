@@ -4,10 +4,14 @@
 // The tracked path can never reach "millions of users" — each tracked source
 // costs a full estimate/residual pair kept converged on every batch. The
 // on-demand path answers the long tail instead: a one-shot run of the
-// paper's local push (push.ColdPushCSR) over an immutable CSR snapshot of
-// the current graph down to a coarse ε, optionally refined by deterministic
-// Monte-Carlo walks (internal/montecarlo) from the answer's candidate
-// vertices. Both tiers estimate the same quantity — the contribution vector
+// paper's local push (push.ColdPushCSR / push.ColdPush) over an immutable
+// view of the current graph down to a coarse ε, optionally refined by
+// deterministic Monte-Carlo walks (internal/montecarlo) from the answer's
+// candidate vertices. The view is epoch-pinned and touched-proportional: it
+// layers the delta segments recent batches produced over the shared
+// immutable CSR base, so refreshing it after a mutation costs O(what the
+// batch touched), not O(graph) — and when the graph is freshly compacted the
+// queries run directly on the bare base segment. Both tiers estimate the same quantity — the contribution vector
 // π_·(s) the live trackers maintain — so promoting a source tightens its
 // error bound without ever changing the meaning of its answers. The result
 // carries the achieved per-vertex bound so callers know what they got.
@@ -124,9 +128,10 @@ type onDemand struct {
 	opts OnDemandOptions
 	svc  *Service
 
-	// snap caches the CSR the queries run against, keyed by the service's
-	// graph generation. It is rebuilt on the pipeline goroutine (serialized
-	// with writes — Graph itself is not safe for concurrent use).
+	// snap caches the graph view the queries run against, keyed by the
+	// service's graph generation. It is rebuilt on the pipeline goroutine
+	// (serialized with writes — Graph itself is not safe for concurrent use),
+	// at a cost proportional to the delta segments present, not graph size.
 	snap atomic.Pointer[odSnapshot]
 
 	// mu guards the admission cache and serializes auto-registry mutations.
@@ -141,18 +146,33 @@ type onDemand struct {
 	auto atomic.Pointer[map[VertexID]*atomic.Int64]
 	tick atomic.Int64 // recency clock for auto sources
 
-	queries        atomic.Int64
-	walks          atomic.Int64
-	snapshotBuilds atomic.Int64
-	promotions     atomic.Int64
-	evictions      atomic.Int64
-	lastLatency    atomic.Int64 // nanoseconds
-	totalLatency   atomic.Int64 // nanoseconds
+	queries           atomic.Int64
+	walks             atomic.Int64
+	snapshotBuilds    atomic.Int64
+	lastSnapshotDelta atomic.Int64
+	promotions        atomic.Int64
+	evictions         atomic.Int64
+	lastLatency       atomic.Int64 // nanoseconds
+	totalLatency      atomic.Int64 // nanoseconds
 }
 
 type odSnapshot struct {
 	gen uint64
-	csr *graph.CSR
+	// view is the epoch-pinned layered view cold queries walk.
+	view *graph.View
+	// base is view's bare CSR base segment when the view carries no deltas
+	// (the graph was compacted), nil otherwise. Queries use it to take the
+	// dispatch-free CSR fast paths.
+	base *graph.CSR
+}
+
+// adj returns the adjacency cold-query work should run on: the bare base
+// segment when available, the layered view otherwise.
+func (s *odSnapshot) adj() graph.Adjacency {
+	if s.base != nil {
+		return s.base
+	}
+	return s.view
 }
 
 // odCandidate is one admission-cache entry: how often and how recently an
@@ -193,9 +213,15 @@ type OnDemandStats struct {
 	Queries int64
 	// Walks counts Monte-Carlo refinement walks across all queries.
 	Walks int64
-	// SnapshotBuilds counts CSR snapshot rebuilds (one per graph mutation
-	// generation actually queried, not per query).
+	// SnapshotBuilds counts graph-view rebuilds (one per graph mutation
+	// generation actually queried, not per query). Each build copies only
+	// the delta-segment headers present at that moment, not the graph.
 	SnapshotBuilds int64
+	// LastSnapshotDeltaEdges is the number of delta-segment adjacency
+	// entries the most recent view build layered over the shared CSR base —
+	// the touched-proportional cost the ondemand bench asserts on. 0 means
+	// the last build handed out a fully compacted base.
+	LastSnapshotDeltaEdges int64
 	// Promotions and Evictions count admission-cache decisions: sources
 	// promoted into tracked state, and auto-promoted sources evicted to
 	// make room.
@@ -217,15 +243,16 @@ func (od *onDemand) stats() *OnDemandStats {
 	od.mu.Unlock()
 	autos := len(*od.auto.Load())
 	return &OnDemandStats{
-		Queries:        od.queries.Load(),
-		Walks:          od.walks.Load(),
-		SnapshotBuilds: od.snapshotBuilds.Load(),
-		Promotions:     od.promotions.Load(),
-		Evictions:      od.evictions.Load(),
-		Candidates:     cands,
-		AutoSources:    autos,
-		LastLatency:    time.Duration(od.lastLatency.Load()),
-		TotalLatency:   time.Duration(od.totalLatency.Load()),
+		Queries:                od.queries.Load(),
+		Walks:                  od.walks.Load(),
+		SnapshotBuilds:         od.snapshotBuilds.Load(),
+		LastSnapshotDeltaEdges: od.lastSnapshotDelta.Load(),
+		Promotions:             od.promotions.Load(),
+		Evictions:              od.evictions.Load(),
+		Candidates:             cands,
+		AutoSources:            autos,
+		LastLatency:            time.Duration(od.lastLatency.Load()),
+		TotalLatency:           time.Duration(od.totalLatency.Load()),
 	}
 }
 
@@ -349,10 +376,18 @@ func (s *Service) onDemandQuery(ctx context.Context, source VertexID, ref odRefi
 	}
 	res := &odResult{source: source, alpha: s.opts.Options.Alpha}
 	qi := QueryInfo{Approx: true}
-	if int(source) < snap.csr.NumVertices() {
-		pr, err := push.ColdPushCSR(snap.csr, source, push.Config{
-			Alpha: s.opts.Options.Alpha, Epsilon: od.opts.Epsilon,
-		}, od.opts.MaxPushes)
+	if int(source) < snap.view.NumVertices() {
+		cfg := push.Config{Alpha: s.opts.Options.Alpha, Epsilon: od.opts.Epsilon}
+		var pr *push.ColdPushResult
+		var err error
+		// A compacted snapshot runs on the dispatch-free CSR body; a snapshot
+		// with live delta segments runs the identical push over the layered
+		// view (bit-identical on equal graphs, touched-proportional to set up).
+		if snap.base != nil {
+			pr, err = push.ColdPushCSR(snap.base, source, cfg, od.opts.MaxPushes)
+		} else {
+			pr, err = push.ColdPush(snap.view, source, cfg, od.opts.MaxPushes)
+		}
 		if err != nil {
 			return nil, QueryInfo{}, err
 		}
@@ -364,12 +399,12 @@ func (s *Service) onDemandQuery(ctx context.Context, source VertexID, ref odRefi
 			Source:      source,
 			MaxResidual: pr.MaxResidual,
 			Epsilon:     pr.MaxResidual,
-			Vertices:    snap.csr.NumVertices(),
+			Vertices:    snap.view.NumVertices(),
 		}
 	} else {
 		// The source is outside the snapshot: an isolated vertex, answered
 		// exactly (see odResult.estimates).
-		qi.Snapshot = SnapshotInfo{Source: source, Vertices: snap.csr.NumVertices()}
+		qi.Snapshot = SnapshotInfo{Source: source, Vertices: snap.view.NumVertices()}
 	}
 	elapsed := time.Since(start)
 	od.queries.Add(1)
@@ -381,8 +416,11 @@ func (s *Service) onDemandQuery(ctx context.Context, source VertexID, ref odRefi
 	return res, qi, nil
 }
 
-// snapshot returns the CSR for the current graph generation, building it on
-// the pipeline goroutine when a mutation has invalidated the cached one.
+// snapshot returns the pinned graph view for the current graph generation,
+// building it on the pipeline goroutine when a mutation has invalidated the
+// cached one. The build layers the current delta segments over the shared
+// immutable base — O(segments touched since the last compaction), where the
+// old implementation re-materialized a full CSR per generation.
 func (od *onDemand) snapshot(ctx context.Context) (*odSnapshot, error) {
 	s := od.svc
 	if cur := od.snap.Load(); cur != nil && cur.gen == s.graphGen.Load() {
@@ -394,9 +432,11 @@ func (od *onDemand) snapshot(ctx context.Context) (*odSnapshot, error) {
 		// Concurrent refreshers coalesce: the generation is re-read on the
 		// pipeline, where it cannot advance under us.
 		if gen := s.graphGen.Load(); cur == nil || cur.gen != gen {
-			cur = &odSnapshot{gen: gen, csr: s.g.Snapshot()}
+			view := s.g.View()
+			cur = &odSnapshot{gen: gen, view: view, base: view.Base()}
 			od.snap.Store(cur)
 			od.snapshotBuilds.Add(1)
+			od.lastSnapshotDelta.Store(int64(view.DeltaEdges()))
 		}
 		res <- cur
 	}); err != nil {
@@ -435,6 +475,7 @@ func (od *onDemand) refine(snap *odSnapshot, source VertexID, pr *push.ColdPushR
 	}
 	rng := rand.New(rand.NewSource(od.opts.Seed ^ int64(source)*0x5851F42D4C957F2D ^ int64(snap.gen)))
 	alpha := od.svc.opts.Options.Alpha
+	adj := snap.adj()
 	per, extra := w/len(targets), w%len(targets)
 	used := 0
 	for i, v := range targets {
@@ -447,7 +488,7 @@ func (od *onDemand) refine(snap *odSnapshot, source VertexID, pr *push.ColdPushR
 		}
 		var sum float64
 		for j := 0; j < wt; j++ {
-			end := montecarlo.WalkEndpointCSR(snap.csr, graph.VertexID(v), alpha, od.opts.MaxWalkLength, rng)
+			end := montecarlo.WalkEndpoint(adj, graph.VertexID(v), alpha, od.opts.MaxWalkLength, rng)
 			sum += pr.Residuals[end]
 		}
 		pr.Estimates[v] += sum / float64(wt)

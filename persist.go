@@ -246,27 +246,27 @@ func (s *Service) doCheckpoint() (uint64, error) {
 	return lsn, nil
 }
 
-// checkpointData captures the pipeline-quiescent state. The adjacency
-// slices alias the live graph (Estimates/Residuals already copy), which is
-// safe only because ckpt.WriteFile serializes them before this pipeline
-// step completes — no mutation can run until then. Moving the disk write
-// off the pipeline would require deep-copying the adjacency first.
+// checkpointData captures the pipeline-quiescent state. Checkpointing is a
+// quiescent point, so it first folds any delta segments into the immutable
+// CSR base and then serializes that base verbatim as a v2 CSR image — no
+// per-vertex adjacency walk. The CSR arrays alias the live base
+// (Estimates/Residuals already copy), which is safe because the base never
+// mutates in place and ckpt.WriteFile serializes it before this pipeline
+// step completes — no mutation can run until then.
 func (s *Service) checkpointData(lsn uint64) *ckpt.Data {
-	n := s.g.NumVertices()
-	out := make([][]graph.VertexID, n)
-	in := make([][]graph.VertexID, n)
-	for v := 0; v < n; v++ {
-		out[v] = s.g.OutNeighbors(VertexID(v))
-		in[v] = s.g.InNeighbors(VertexID(v))
+	epochBefore := s.g.Epoch()
+	csr := s.g.CompactedSnapshot()
+	if s.g.Epoch() != epochBefore {
+		s.compactions.Add(1)
 	}
+	s.noteStorage()
 	sources := s.allSources()
 	sort.Slice(sources, func(i, j int) bool { return sources[i].source < sources[j].source })
 	data := &ckpt.Data{
 		LSN:     lsn,
 		Alpha:   s.opts.Options.Alpha,
 		Epsilon: s.opts.Options.Epsilon,
-		Out:     out,
-		In:      in,
+		CSR:     csr,
 	}
 	for _, src := range sources {
 		data.Sources = append(data.Sources, ckpt.Source{
@@ -326,9 +326,18 @@ func NewServiceFromRecovery(so ServiceOptions, po PersistOptions) (*Service, err
 	if err != nil {
 		return nil, err
 	}
-	g, err := graph.FromAdjacency(data.Out, data.In)
-	if err != nil {
-		return nil, fmt.Errorf("dynppr: recovering %s: %w", po.Dir, err)
+	var g *Graph
+	if data.CSR != nil {
+		// v2 CSR image: adopt the decoded arrays as the graph's immutable
+		// base segment directly — recovery does no per-edge work.
+		g = graph.FromCSR(data.CSR)
+	} else {
+		// Legacy v1 adjacency checkpoint: re-insert edges, then upgrade the
+		// on-disk format below.
+		g, err = graph.FromAdjacency(data.Out, data.In)
+		if err != nil {
+			return nil, fmt.Errorf("dynppr: recovering %s: %w", po.Dir, err)
+		}
 	}
 	so.Options.Alpha = data.Alpha
 	so.Options.Epsilon = data.Epsilon
@@ -389,8 +398,10 @@ func NewServiceFromRecovery(so ServiceOptions, po PersistOptions) (*Service, err
 	// A clean restart — nothing replayed, WAL already rotated to the
 	// checkpoint's LSN — would re-serialize a byte-identical checkpoint;
 	// skip that write. Any other shape re-checkpoints so the on-disk pair
-	// reflects exactly the state being served.
-	checkpoint := replayed > 0 || log.BaseLSN() != data.LSN || log.NextLSN() != data.LSN
+	// reflects exactly the state being served. A legacy v1 checkpoint
+	// always re-checkpoints, upgrading the directory to the v2 CSR image
+	// on first boot.
+	checkpoint := replayed > 0 || log.BaseLSN() != data.LSN || log.NextLSN() != data.LSN || data.CSR == nil
 	return finishPersistentBoot(svc, po, log, checkpoint)
 }
 

@@ -94,8 +94,22 @@ type Service struct {
 	shed atomic.Int64
 
 	// graphGen counts graph mutations (batches with effect, source cold
-	// starts). The on-demand query path keys its CSR snapshot cache on it.
+	// starts). The on-demand query path keys its view cache on it.
+	// Compaction does NOT bump it: a base swap leaves the logical graph
+	// unchanged, so cached views stay valid.
 	graphGen atomic.Uint64
+
+	// Background compaction of the graph's LSM store. compacting gates one
+	// in-flight merge; compactWG lets Close wait the merge goroutine out.
+	// The remaining fields mirror pipeline-owned graph state for Stats.
+	compacting    atomic.Bool
+	compactWG     sync.WaitGroup
+	compactions   atomic.Int64
+	lastCompactNs atomic.Int64
+	deltaEdges    atomic.Int64
+	baseEdges     atomic.Int64
+	overlaidVerts atomic.Int64
+	storageEpoch  atomic.Uint64
 	// od is the on-demand query engine for untracked sources; nil unless
 	// ServiceOptions.OnDemand.Enabled.
 	od *onDemand
@@ -145,6 +159,33 @@ type ServiceOptions struct {
 	// OnDemand configures the approximate query path for untracked sources
 	// (QueryTopK/QueryEstimate); the zero value disables it.
 	OnDemand OnDemandOptions
+	// CompactAfterDeltaEdges is the delta-segment size (adjacency entries,
+	// counting both directions) at which a batch triggers a background
+	// compaction of the graph's LSM store: the merged base is built off the
+	// pipeline against a pinned view and swapped in at the next quiescent
+	// point. 0 selects an adaptive default (max(32768, live edges / 4));
+	// negative disables automatic compaction — delta segments then accumulate
+	// until a checkpoint (which always compacts) or an explicit CompactNow. A
+	// batch that finds the deltas at 4× the trigger compacts inline instead,
+	// bounding how far writes can run ahead of the background merge.
+	CompactAfterDeltaEdges int
+}
+
+// compactThreshold resolves CompactAfterDeltaEdges against the current live
+// edge count; <= 0 means disabled.
+func (s *Service) compactThreshold() int {
+	opt := s.opts.CompactAfterDeltaEdges
+	switch {
+	case opt < 0:
+		return 0
+	case opt > 0:
+		return opt
+	}
+	th := s.g.NumEdges() / 4
+	if th < 32768 {
+		th = 32768
+	}
+	return th
 }
 
 // topKCap resolves the TopKCap option to the slot constructor's convention
@@ -291,6 +332,7 @@ func newService(g *Graph, so ServiceOptions, cold []VertexID, recovered []seedSo
 	svc.table.Store(&table)
 	svc.vertices.Store(int64(g.NumVertices()))
 	svc.edges.Store(int64(g.NumEdges()))
+	svc.noteStorage()
 	svc.graphGen.Store(1)
 	if so.OnDemand.Enabled {
 		svc.od = newOnDemand(svc, so.OnDemand)
@@ -423,6 +465,9 @@ func (s *Service) Close() error {
 	close(s.work)
 	s.closeMu.Unlock()
 	<-s.done
+	// A background compaction may still be merging; its install submit fails
+	// against the closed pipeline and the goroutine exits.
+	s.compactWG.Wait()
 	// The pipeline has exited, so nothing appends concurrently.
 	if p := s.persist.Load(); p != nil {
 		return p.close()
@@ -512,6 +557,7 @@ func (s *Service) doBatch(b Batch) BatchResult {
 	}
 	if applied > 0 {
 		s.graphGen.Add(1)
+		s.maybeCompact()
 	}
 	latency := time.Since(start)
 	s.batches.Add(1)
@@ -527,6 +573,92 @@ func (s *Service) doBatch(b Batch) BatchResult {
 		Latency: latency,
 		Pushes:  after - before,
 	}
+}
+
+// noteStorage mirrors the pipeline-owned LSM-store gauges into atomics for
+// Stats readers. Pipeline goroutine only.
+func (s *Service) noteStorage() {
+	s.deltaEdges.Store(int64(s.g.DeltaEdges()))
+	s.baseEdges.Store(int64(s.g.BaseEdges()))
+	s.overlaidVerts.Store(int64(s.g.OverlaidVertices()))
+	s.storageEpoch.Store(s.g.Epoch())
+}
+
+// maybeCompact runs on the pipeline after an effective batch and decides
+// whether the delta segments have earned a compaction. The normal trigger
+// starts a background merge: the current state is pinned as a view (cost
+// proportional to the deltas), the merged CSR is built on a spare goroutine
+// while the pipeline keeps applying batches, and the swap is submitted back
+// to the pipeline — a quiescent point by construction, since every engine
+// read also runs inside pipeline tasks. If the deltas ever reach 4× the
+// trigger (the merge is slower than the write rate), the pipeline compacts
+// inline, trading one batch's latency for bounded memory.
+func (s *Service) maybeCompact() {
+	th := s.compactThreshold()
+	if th <= 0 {
+		s.noteStorage()
+		return
+	}
+	d := s.g.DeltaEdges()
+	switch {
+	case d < th:
+		s.noteStorage()
+		return
+	case d >= 4*th:
+		start := time.Now()
+		s.g.Compact()
+		s.compactions.Add(1)
+		s.lastCompactNs.Store(int64(time.Since(start)))
+		s.noteStorage()
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		s.noteStorage()
+		return // one merge in flight is enough
+	}
+	c := s.g.BeginCompaction()
+	s.noteStorage()
+	s.compactWG.Add(1)
+	go func() {
+		defer s.compactWG.Done()
+		start := time.Now()
+		base := c.Build()
+		if err := s.submit(func() {
+			// Install no-ops (false) when an inline compaction or checkpoint
+			// swapped the base first; the stale merge is simply discarded.
+			if s.g.Install(c, base) {
+				s.compactions.Add(1)
+				s.lastCompactNs.Store(int64(time.Since(start)))
+				s.noteStorage()
+			}
+			s.compacting.Store(false)
+		}); err != nil {
+			s.compacting.Store(false) // service closed; deltas stay mergeable
+		}
+	}()
+}
+
+// CompactNow synchronously merges every delta segment of the graph's LSM
+// store into a fresh immutable base. The logical graph — and therefore every
+// estimate, residual, and Top-K ranking — is unchanged; only the physical
+// layout moves. It is exposed for operational use (pre-checkpoint squeeze,
+// tests) — the service normally compacts itself per
+// ServiceOptions.CompactAfterDeltaEdges.
+func (s *Service) CompactNow() error {
+	done := make(chan struct{})
+	if err := s.submit(func() {
+		before := s.g.Epoch()
+		s.g.Compact()
+		if s.g.Epoch() != before {
+			s.compactions.Add(1)
+		}
+		s.noteStorage()
+		close(done)
+	}); err != nil {
+		return err
+	}
+	<-done
+	return nil
 }
 
 func (s *Service) allSources() []*serviceSource {
@@ -856,6 +988,30 @@ type SourceStats struct {
 	TopKRebuilds uint64
 }
 
+// StorageStats reports the state of the LSM-style graph store: one immutable
+// CSR base segment plus per-vertex mutable delta segments that background
+// compaction folds back into a fresh base.
+type StorageStats struct {
+	// Epoch identifies the current base segment; it advances on every
+	// compaction (base swap). Logical graph content never changes across an
+	// epoch bump.
+	Epoch uint64
+	// BaseEdges is the edge count of the immutable base. DeltaEdges counts
+	// adjacency entries (both directions) held in mutable delta segments
+	// awaiting compaction, and OverlaidVertices the vertices currently read
+	// from those segments rather than the base.
+	BaseEdges        int64
+	DeltaEdges       int64
+	OverlaidVertices int64
+	// Compactions counts base swaps (background installs, inline 4×-trigger
+	// compactions, CompactNow, and checkpoints, which always compact).
+	// LastCompaction is the build+install wall time of the most recent one,
+	// and CompactionInFlight reports a background merge currently running.
+	Compactions        int64
+	LastCompaction     time.Duration
+	CompactionInFlight bool
+}
+
 // ServiceStats reports aggregate serving statistics.
 type ServiceStats struct {
 	// Sources lists per-source statistics in ascending source order.
@@ -878,6 +1034,9 @@ type ServiceStats struct {
 	// Vertices and Edges describe the graph after the last completed batch.
 	Vertices int
 	Edges    int
+	// Storage describes the LSM graph store's segments and compaction
+	// activity.
+	Storage StorageStats
 	// PoolWorkers is the shard pool size.
 	PoolWorkers int
 	// Engine names the push engine kind every source runs.
@@ -944,9 +1103,18 @@ func (s *Service) Stats() ServiceStats {
 		TotalBatchLatency: time.Duration(s.totalLatency.Load()),
 		Vertices:          int(s.vertices.Load()),
 		Edges:             int(s.edges.Load()),
-		PoolWorkers:       s.opts.PoolWorkers,
-		Engine:            s.opts.Options.Engine.String(),
-		Persistence:       s.persistenceStats(),
+		Storage: StorageStats{
+			Epoch:              s.storageEpoch.Load(),
+			BaseEdges:          s.baseEdges.Load(),
+			DeltaEdges:         s.deltaEdges.Load(),
+			OverlaidVertices:   s.overlaidVerts.Load(),
+			Compactions:        s.compactions.Load(),
+			LastCompaction:     time.Duration(s.lastCompactNs.Load()),
+			CompactionInFlight: s.compacting.Load(),
+		},
+		PoolWorkers: s.opts.PoolWorkers,
+		Engine:      s.opts.Options.Engine.String(),
+		Persistence: s.persistenceStats(),
 	}
 	if s.od != nil {
 		stats.OnDemand = s.od.stats()

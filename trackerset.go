@@ -159,6 +159,9 @@ func (ts *TrackerSet) ApplyBatch(b Batch) BatchResult {
 	fp.For(len(ts.states), ts.setWorkers, func(i int) {
 		ts.engines[i].Run(ts.states[i], touched)
 	})
+	// Between batches is a quiescent point (no engine is reading): fold
+	// grown delta segments back into the CSR base.
+	ts.g.MaybeCompact()
 	for _, st := range ts.states {
 		pushes += st.Counters.Snapshot().Pushes
 	}
