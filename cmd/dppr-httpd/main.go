@@ -77,6 +77,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		odWalks    = fs.Int("ondemand-walks", 0, "Monte-Carlo refinement walks per on-demand query (0 = push only)")
 		promoteAft = fs.Int("promote-after", 0, "promote an untracked source to live tracking after this many queries (0 = never)")
 		maxAuto    = fs.Int("max-auto-sources", 64, "cap on auto-promoted sources; the coldest is evicted at capacity")
+		odWorkers  = fs.Int("ondemand-workers", 0, "cold-push worker pool size for on-demand queries (0 = GOMAXPROCS-derived)")
+		odCache    = fs.Int("ondemand-cache", 0, "on-demand result cache entries (0 = default 256, negative = disabled)")
+		odBudget   = fs.Duration("ondemand-budget", 0, "default per-query latency budget for on-demand reads; budget_ms overrides per request (0 = unbudgeted)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +98,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Seed:           *seed,
 		PromoteAfter:   *promoteAft,
 		MaxAutoSources: *maxAuto,
+		Workers:        *odWorkers,
+		ResultCache:    *odCache,
 	}
 	var err error
 	if so.Options.Engine, err = dynppr.ParseEngineKind(*engine); err != nil {
@@ -162,6 +167,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			DisableCoalesce:  *noCoalesce,
 			DisableMetrics:   *noMetrics,
 			EnablePprof:      *pprofOn,
+			DefaultBudget:    *odBudget,
 		},
 	})
 	if err := srv.Start(); err != nil {
@@ -171,8 +177,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintf(out, "admission: queue=%d rate-limit=%g rate-burst=%d coalesce=%t metrics=%t pprof=%t\n",
 		q.Cap, *rateLimit, *rateBurst, !*noCoalesce, !*noMetrics, *pprofOn)
 	if *onDemand {
-		fmt.Fprintf(out, "ondemand: eps=%.0e walks=%d promote-after=%d max-auto-sources=%d\n",
-			*odEps, *odWalks, *promoteAft, *maxAuto)
+		odst := svc.Stats().OnDemand
+		fmt.Fprintf(out, "ondemand: eps=%.0e walks=%d promote-after=%d max-auto-sources=%d workers=%d cache=%d budget=%v\n",
+			*odEps, *odWalks, *promoteAft, *maxAuto, odst.PoolWorkers, odst.CacheCapacity, *odBudget)
 	}
 	fmt.Fprintf(out, "listening on %s\n", srv.URL())
 

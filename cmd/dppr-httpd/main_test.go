@@ -352,6 +352,64 @@ func TestHTTPDNoMetricsFlag(t *testing.T) {
 	<-errCh
 }
 
+// TestHTTPDOnDemandFlags boots the daemon with the on-demand pool/cache/budget
+// flags and asserts the startup log reports the resolved values and that a
+// repeated cold query is answered from the result cache.
+func TestHTTPDOnDemandFlags(t *testing.T) {
+	var out syncBuffer
+	base, cancel, errCh := startHTTPD(t, &out,
+		"-ondemand", "-ondemand-eps", "1e-3",
+		"-ondemand-workers", "2", "-ondemand-cache", "32", "-ondemand-budget", "50ms")
+	defer cancel()
+
+	if !strings.Contains(out.String(), "workers=2 cache=32 budget=50ms") {
+		t.Fatalf("ondemand startup line missing resolved pool/cache/budget:\n%s", out.String())
+	}
+
+	client := httpapi.NewClient(base, nil)
+	sources, err := client.Sources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracked := make(map[dynppr.VertexID]bool, len(sources))
+	for _, s := range sources {
+		tracked[s] = true
+	}
+	var cold dynppr.VertexID
+	for v := dynppr.VertexID(0); ; v++ {
+		if !tracked[v] {
+			cold = v
+			break
+		}
+	}
+	first, err := client.TopK(cold, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Approx || first.Cached {
+		t.Fatalf("first cold query: approx=%t cached=%t, want approx uncached", first.Approx, first.Cached)
+	}
+	again, err := client.TopK(cold, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatalf("repeated cold query not served from the cache: %+v", again)
+	}
+	// An explicit budget larger than the daemon default must still be
+	// accepted on the wire and refine at least as far as the default run.
+	budgeted, err := client.TopKBudget(cold, 5, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !budgeted.Approx || budgeted.Epsilon > first.Epsilon {
+		t.Fatalf("budgeted query did not refine: eps=%g vs first eps=%g", budgeted.Epsilon, first.Epsilon)
+	}
+
+	cancel()
+	<-errCh
+}
+
 // TestHTTPDCheckpointWithoutDataDir asserts the admin endpoint answers 409
 // on an in-memory daemon.
 func TestHTTPDCheckpointWithoutDataDir(t *testing.T) {

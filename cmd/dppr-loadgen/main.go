@@ -93,6 +93,7 @@ type clientResult struct {
 	shed       [numClasses]int64
 	approx     int64
 	exact      int64
+	cached     int64
 	errors     []error
 	violations []string
 }
@@ -110,6 +111,7 @@ type config struct {
 	maxP99     time.Duration
 	expectShed bool
 	zipf       float64
+	repeat     int
 }
 
 // parseFlags resolves the command line into the load configuration and the
@@ -134,6 +136,7 @@ func parseFlags(args []string) (config, string, error) {
 		maxP99     = fs.Duration("max-p99", 0, "fail when the read p99 of successful requests exceeds this (0 = no gate)")
 		expectShed = fs.Bool("expect-shed", false, "tolerate 429 responses as shed load and fail unless at least one occurred")
 		zipf       = fs.Float64("zipf", 0, "long-tail mode: draw read sources Zipf(s)-distributed over all vertices (0 = tracked sources only; requires s > 1)")
+		repeat     = fs.Int("repeat", 0, "closed-loop: re-issue each single top-k/estimate read this many extra times back-to-back — with -zipf this exercises the server's on-demand result cache")
 	)
 	if err := fs.Parse(args); err != nil {
 		return config{}, "", err
@@ -151,6 +154,7 @@ func parseFlags(args []string) (config, string, error) {
 		maxP99:     *maxP99,
 		expectShed: *expectShed,
 		zipf:       *zipf,
+		repeat:     *repeat,
 	}
 	if cfg.clients < 1 {
 		return config{}, "", fmt.Errorf("-clients must be at least 1")
@@ -163,6 +167,9 @@ func parseFlags(args []string) (config, string, error) {
 	}
 	if cfg.zipf != 0 && cfg.zipf <= 1 {
 		return config{}, "", fmt.Errorf("-zipf exponent must be > 1 (got %g)", cfg.zipf)
+	}
+	if cfg.repeat < 0 {
+		return config{}, "", fmt.Errorf("-repeat must be non-negative")
 	}
 	total := 0
 	for _, w := range cfg.weights {
@@ -216,7 +223,9 @@ func run(args []string, out io.Writer) error {
 			addr, cfg.arrival, len(sources), vertices,
 			cfg.weights[opTopK], cfg.weights[opEstimate], cfg.weights[opBatchRead], cfg.weights[opWrite])
 		results, drops, elapsed := runOpenLoop(cfg, addr, hc, sources, vertices)
-		return report(out, cfg, []*clientResult{results}, drops, elapsed)
+		runErr := report(out, cfg, []*clientResult{results}, drops, elapsed)
+		printServerOnDemand(out, probe)
+		return runErr
 	}
 
 	fmt.Fprintf(out, "target=%s clients=%d sources=%d vertices=%d mix topk:estimate:batchread:write = %d:%d:%d:%d\n",
@@ -245,7 +254,27 @@ func run(args []string, out io.Writer) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	return report(out, cfg, results, 0, elapsed)
+	runErr := report(out, cfg, results, 0, elapsed)
+	printServerOnDemand(out, probe)
+	return runErr
+}
+
+// printServerOnDemand reports the server's on-demand concurrency counters at
+// the end of a run, so cache and coalescing effectiveness are visible without
+// scraping /metrics. Silent when the server has no on-demand tier (or has
+// already gone away).
+func printServerOnDemand(out io.Writer, probe *httpapi.Client) {
+	st, err := probe.Stats()
+	if err != nil || st.Service.OnDemand == nil {
+		return
+	}
+	od := st.Service.OnDemand
+	hitRate := 0.0
+	if lookups := od.CacheHits + od.CacheMisses; lookups > 0 {
+		hitRate = 100 * float64(od.CacheHits) / float64(lookups)
+	}
+	fmt.Fprintf(out, "server ondemand: cold_pushes=%d coalesced=%d cache_hits=%d cache_misses=%d (%.1f%% hit rate) budget_truncated=%d\n",
+		od.ColdPushes, od.Coalesced, od.CacheHits, od.CacheMisses, hitRate, od.BudgetTruncated)
 }
 
 // op is one pre-generated request: all randomness is drawn on the
@@ -338,13 +367,17 @@ type readOutcome struct {
 	metas  []httpapi.SnapshotMeta
 	approx int64
 	exact  int64
+	cached int64
 	inline []string
 }
 
 // observe validates one read answer's approx/epsilon contract and files its
 // snapshot metadata.
-func (ro *readOutcome) observe(meta httpapi.SnapshotMeta, approx bool, epsilon float64) {
+func (ro *readOutcome) observe(meta httpapi.SnapshotMeta, approx bool, epsilon float64, cached bool) {
 	ro.metas = append(ro.metas, meta)
+	if cached {
+		ro.cached++
+	}
 	if !approx {
 		ro.exact++
 		return
@@ -367,12 +400,12 @@ func execOp(client *httpapi.Client, cfg config, o op) (ro readOutcome, err error
 	case opTopK:
 		var top httpapi.TopKResult
 		if top, err = client.TopK(o.source, cfg.k); err == nil {
-			ro.observe(top.Snapshot, top.Approx, top.Epsilon)
+			ro.observe(top.Snapshot, top.Approx, top.Epsilon, top.Cached)
 		}
 	case opEstimate:
 		var est httpapi.EstimateResult
 		if est, err = client.Estimate(o.source, o.vertex); err == nil {
-			ro.observe(est.Snapshot, est.Approx, est.Epsilon)
+			ro.observe(est.Snapshot, est.Approx, est.Epsilon, est.Cached)
 		}
 	case opBatchRead:
 		var batch []httpapi.QueryResult
@@ -380,9 +413,9 @@ func execOp(client *httpapi.Client, cfg config, o op) (ro readOutcome, err error
 			for _, r := range batch {
 				switch {
 				case r.TopK != nil:
-					ro.observe(r.TopK.Snapshot, r.TopK.Approx, r.TopK.Epsilon)
+					ro.observe(r.TopK.Snapshot, r.TopK.Approx, r.TopK.Epsilon, r.TopK.Cached)
 				case r.Estimate != nil:
-					ro.observe(r.Estimate.Snapshot, r.Estimate.Approx, r.Estimate.Epsilon)
+					ro.observe(r.Estimate.Snapshot, r.Estimate.Approx, r.Estimate.Epsilon, r.Estimate.Cached)
 				default:
 					ro.inline = append(ro.inline, fmt.Sprintf("batched query failed inline: %s", r.Error))
 				}
@@ -417,34 +450,44 @@ func runClient(id int, cfg config, addr string, hc *http.Client,
 			return
 		}
 		o := genOp(rng, z, cfg, sources, vertices)
-		start := time.Now()
-		ro, err := execOp(client, cfg, o)
-		if err != nil {
-			if cfg.tolerateShed() && httpapi.IsOverloaded(err) {
-				res.shed[o.class]++
-				continue
-			}
-			res.errors = append(res.errors, fmt.Errorf("client %d %s: %w", id, o.class, err))
-			continue
+		// -repeat re-issues single reads back-to-back: against an on-demand
+		// server the repeats should be result-cache hits (until a mutation
+		// moves the graph generation under them).
+		tries := 1
+		if cfg.repeat > 0 && (o.class == opTopK || o.class == opEstimate) {
+			tries += cfg.repeat
 		}
-		res.lat[o.class].Observe(time.Since(start))
-		res.approx += ro.approx
-		res.exact += ro.exact
-		res.violations = append(res.violations, ro.inline...)
-		for _, m := range ro.metas {
-			if msg, ok := checkConverged(m); !ok {
-				res.violations = append(res.violations, msg)
-			}
-			// One client's requests are sequential, so the epoch it observes
-			// per source must be monotone. Not in long-tail mode: promotion
-			// and eviction legitimately move a source between live epochs and
-			// the on-demand path's synthesized epoch 0.
-			if cfg.zipf == 0 {
-				if last, ok := epochs[m.Source]; ok && m.Epoch < last {
-					res.violations = append(res.violations,
-						fmt.Sprintf("source %d: epoch went backwards %d -> %d", m.Source, last, m.Epoch))
+		for try := 0; try < tries; try++ {
+			start := time.Now()
+			ro, err := execOp(client, cfg, o)
+			if err != nil {
+				if cfg.tolerateShed() && httpapi.IsOverloaded(err) {
+					res.shed[o.class]++
+					break
 				}
-				epochs[m.Source] = m.Epoch
+				res.errors = append(res.errors, fmt.Errorf("client %d %s: %w", id, o.class, err))
+				break
+			}
+			res.lat[o.class].Observe(time.Since(start))
+			res.approx += ro.approx
+			res.exact += ro.exact
+			res.cached += ro.cached
+			res.violations = append(res.violations, ro.inline...)
+			for _, m := range ro.metas {
+				if msg, ok := checkConverged(m); !ok {
+					res.violations = append(res.violations, msg)
+				}
+				// One client's requests are sequential, so the epoch it observes
+				// per source must be monotone. Not in long-tail mode: promotion
+				// and eviction legitimately move a source between live epochs and
+				// the on-demand path's synthesized epoch 0.
+				if cfg.zipf == 0 {
+					if last, ok := epochs[m.Source]; ok && m.Epoch < last {
+						res.violations = append(res.violations,
+							fmt.Sprintf("source %d: epoch went backwards %d -> %d", m.Source, last, m.Epoch))
+					}
+					epochs[m.Source] = m.Epoch
+				}
 			}
 		}
 	}
@@ -509,6 +552,7 @@ func runOpenLoop(cfg config, addr string, hc *http.Client,
 			res.lat[o.class].Observe(elapsed)
 			res.approx += ro.approx
 			res.exact += ro.exact
+			res.cached += ro.cached
 			res.violations = append(res.violations, ro.inline...)
 			for _, m := range ro.metas {
 				if msg, ok := checkConverged(m); !ok {
@@ -524,7 +568,7 @@ func runOpenLoop(cfg config, addr string, hc *http.Client,
 func report(out io.Writer, cfg config, results []*clientResult, drops int64, elapsed time.Duration) error {
 	var merged [numClasses]metrics.LatencyStats
 	var shed [numClasses]int64
-	var approx, exact int64
+	var approx, exact, cached int64
 	var errs []error
 	var violations []string
 	for _, res := range results {
@@ -534,6 +578,7 @@ func report(out io.Writer, cfg config, results []*clientResult, drops int64, ela
 		}
 		approx += res.approx
 		exact += res.exact
+		cached += res.cached
 		errs = append(errs, res.errors...)
 		violations = append(violations, res.violations...)
 	}
@@ -569,7 +614,8 @@ func report(out io.Writer, cfg config, results []*clientResult, drops int64, ela
 		fmt.Fprintf(out, "dropped at client (in-flight cap %d): %d\n", maxInFlight, drops)
 	}
 	if cfg.zipf > 0 || approx > 0 {
-		fmt.Fprintf(out, "read answers: %d exact, %d approximate (on-demand)\n", exact, approx)
+		fmt.Fprintf(out, "read answers: %d exact, %d approximate (on-demand), %d served from the result cache\n",
+			exact, approx, cached)
 	}
 	fmt.Fprintf(out, "non-2xx or transport errors: %d\n", len(errs))
 	fmt.Fprintf(out, "snapshot contract violations: %d\n", len(violations))

@@ -226,6 +226,33 @@ func TestLoadgenZipfLongTail(t *testing.T) {
 	}
 }
 
+// TestLoadgenRepeatCacheTraffic re-issues every drawn read with -repeat: the
+// repeats must come back marked cached, and the end-of-run report must show
+// the server's cache and coalescing counters.
+func TestLoadgenRepeatCacheTraffic(t *testing.T) {
+	base := startOnDemandServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", base, "-clients", "4", "-requests", "10", "-write", "0", "-batchread", "0",
+		"-zipf", "1.4", "-repeat", "3", "-seed", "8",
+	}, &out)
+	if err != nil {
+		t.Fatalf("repeat run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "served from the result cache") {
+		t.Fatalf("report missing the cache line:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), ", 0 served from the result cache") {
+		t.Fatalf("repeats never hit the cache:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "server ondemand: cold_pushes=") {
+		t.Fatalf("report missing the server on-demand counters:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "cache_hits=0 ") {
+		t.Fatalf("server reports zero cache hits despite repeats:\n%s", out.String())
+	}
+}
+
 // TestLoadgenZipfRejectsUntrackedServer asserts the failure mode the SLO
 // exists for: the same Zipf mix against a server without on-demand serving
 // turns cold sources into 404s and the run must fail.
@@ -264,6 +291,7 @@ func TestLoadgenFlagErrors(t *testing.T) {
 		{"-topk", "-1"},
 		{"-zipf", "1"},
 		{"-zipf", "0.8"},
+		{"-repeat", "-1"},
 	} {
 		if err := run(args, &out); err == nil {
 			t.Fatalf("args %v must fail", args)

@@ -48,6 +48,12 @@ type HandlerOptions struct {
 	// DisableCoalesce turns off deduplication of identical concurrent
 	// /topk reads.
 	DisableCoalesce bool
+	// DefaultBudget is the per-query latency budget applied to on-demand
+	// (untracked-source) reads that do not carry their own budget_ms
+	// parameter. Zero leaves them unbudgeted (they run to the configured
+	// on-demand ε). The budget bounds compute only — a truncated answer is
+	// still sound within the error bound it reports.
+	DefaultBudget time.Duration
 	// DisableMetrics removes the GET /metrics Prometheus endpoint.
 	DisableMetrics bool
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
@@ -313,6 +319,21 @@ func parseK(r *http.Request) (int, error) {
 	return k, nil
 }
 
+// parseBudget reads the budget_ms query parameter: absent selects the
+// handler's DefaultBudget, an explicit 0 disables budgeting for this
+// request, and negative or non-numeric values are a 400.
+func (h *Handler) parseBudget(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("budget_ms")
+	if raw == "" {
+		return h.opts.DefaultBudget, nil
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms < 0 {
+		return 0, badRequest("bad budget_ms %q: want a non-negative integer", raw)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
 func (h *Handler) handleHealthz(*http.Request) (any, error) {
 	if h.svc.Closed() {
 		return nil, &apiError{status: http.StatusServiceUnavailable, msg: "service is closed"}
@@ -397,14 +418,14 @@ func (h *Handler) handleSources(r *http.Request) (any, error) {
 // response then carries approx: true and the achieved error bound) and to a
 // 404 otherwise. ctx bounds only the pipeline admission an on-demand answer
 // may need (snapshot refresh, promotion); tracked reads never block on it.
-func (h *Handler) topK(ctx context.Context, source dynppr.VertexID, k int) (*TopKResult, error) {
+func (h *Handler) topK(ctx context.Context, source dynppr.VertexID, k int, budget time.Duration) (*TopKResult, error) {
 	if k <= 0 {
 		return nil, badRequest("k must be positive, got %d", k)
 	}
 	if k > maxTopK {
 		return nil, badRequest("k %d exceeds the maximum %d", k, maxTopK)
 	}
-	top, qi, err := h.svc.QueryTopKCtx(ctx, source, k)
+	top, qi, err := h.svc.QueryTopKOpts(ctx, source, k, dynppr.QueryOptions{Budget: budget})
 	if err != nil {
 		return nil, err
 	}
@@ -415,13 +436,15 @@ func (h *Handler) topK(ctx context.Context, source dynppr.VertexID, k int) (*Top
 	if qi.Approx {
 		res.Approx = true
 		res.Epsilon = qi.Epsilon
+		res.Cached = qi.Cached
+		res.Truncated = qi.Truncated
 	}
 	return res, nil
 }
 
 // estimate follows the same unified path as topK.
-func (h *Handler) estimate(ctx context.Context, source, v dynppr.VertexID) (*EstimateResult, error) {
-	est, qi, err := h.svc.QueryEstimateCtx(ctx, source, v)
+func (h *Handler) estimate(ctx context.Context, source, v dynppr.VertexID, budget time.Duration) (*EstimateResult, error) {
+	est, qi, err := h.svc.QueryEstimateOpts(ctx, source, v, dynppr.QueryOptions{Budget: budget})
 	if err != nil {
 		return nil, err
 	}
@@ -429,6 +452,8 @@ func (h *Handler) estimate(ctx context.Context, source, v dynppr.VertexID) (*Est
 	if qi.Approx {
 		res.Approx = true
 		res.Epsilon = qi.Epsilon
+		res.Cached = qi.Cached
+		res.Truncated = qi.Truncated
 	}
 	return res, nil
 }
@@ -446,14 +471,20 @@ func (h *Handler) handleTopK(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	budget, err := h.parseBudget(r)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := h.admissionCtx(r)
 	defer cancel()
 	if h.opts.DisableCoalesce {
-		return h.topK(ctx, source, k)
+		return h.topK(ctx, source, k, budget)
 	}
-	key := strconv.Itoa(int(source)) + "/" + strconv.Itoa(k)
+	// The budget is part of the coalescing key: budgeted and unbudgeted
+	// requests may legitimately receive different (both sound) answers.
+	key := strconv.Itoa(int(source)) + "/" + strconv.Itoa(k) + "/" + strconv.FormatInt(int64(budget), 10)
 	val, shared, err := h.flights.do(key, func() (any, error) {
-		return h.topK(ctx, source, k)
+		return h.topK(ctx, source, k, budget)
 	})
 	if shared {
 		h.metrics.coalesced.Add(1)
@@ -470,9 +501,13 @@ func (h *Handler) handleEstimate(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	budget, err := h.parseBudget(r)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := h.admissionCtx(r)
 	defer cancel()
-	return h.estimate(ctx, source, v)
+	return h.estimate(ctx, source, v, budget)
 }
 
 // handleQuery answers a batch of reads in one round trip. The batch is not a
@@ -492,21 +527,30 @@ func (h *Handler) handleQuery(r *http.Request) (any, error) {
 	resp := QueryResponse{Results: make([]QueryResult, len(req.Queries))}
 	for i, q := range req.Queries {
 		var res QueryResult
-		switch q.Kind {
-		case KindTopK:
+		// A positive BudgetMS overrides the handler default; the JSON zero
+		// value cannot express "explicitly unbudgeted" for batched queries.
+		budget := h.opts.DefaultBudget
+		if q.BudgetMS > 0 {
+			budget = time.Duration(q.BudgetMS) * time.Millisecond
+		}
+		switch {
+		case q.BudgetMS < 0:
+			res.Error = fmt.Sprintf("negative budget_ms %d", q.BudgetMS)
+			res.Status = http.StatusBadRequest
+		case q.Kind == KindTopK:
 			k := q.K
 			if k == 0 {
 				k = defaultTopK
 			}
-			top, err := h.topK(ctx, q.Source, k)
+			top, err := h.topK(ctx, q.Source, k, budget)
 			if err != nil {
 				res.Error = err.Error()
 				res.Status = errorStatus(err)
 			} else {
 				res.TopK = top
 			}
-		case KindEstimate:
-			est, err := h.estimate(ctx, q.Source, q.Vertex)
+		case q.Kind == KindEstimate:
+			est, err := h.estimate(ctx, q.Source, q.Vertex, budget)
 			if err != nil {
 				res.Error = err.Error()
 				res.Status = errorStatus(err)

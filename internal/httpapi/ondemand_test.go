@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"dynppr"
 	"dynppr/internal/httpapi"
@@ -255,6 +256,114 @@ func TestHTTPOnDemandPromotionMetrics(t *testing.T) {
 		"dppr_ondemand_seconds_total", "dppr_ondemand_last_seconds", "dppr_ondemand_candidates",
 	} {
 		if _, ok := byName[name]; !ok {
+			t.Fatalf("family %s missing from /metrics", name)
+		}
+	}
+}
+
+// TestHTTPOnDemandBudgetAndCache exercises the concurrency-tier wire
+// surface: the cached flag on repeat reads, the budget_ms knob on /topk,
+// /estimate and batched /query, parameter validation, and the new stats
+// fields and metric families.
+func TestHTTPOnDemandBudgetAndCache(t *testing.T) {
+	_, sources, client := newOnDemandAPI(t, dynppr.OnDemandOptions{
+		Enabled: true, Epsilon: 1e-4, Seed: 9,
+	})
+	cold := untrackedVertex(sources)
+
+	first, err := client.TopK(cold, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Approx || first.Cached {
+		t.Fatalf("first cold read: %+v", first)
+	}
+	repeat, err := client.TopK(cold, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repeat.Cached {
+		t.Fatalf("repeat cold read not served from cache: %+v", repeat)
+	}
+	for i := range first.Results {
+		if first.Results[i] != repeat.Results[i] {
+			t.Fatalf("cached result %d diverged: %+v vs %+v", i, repeat.Results[i], first.Results[i])
+		}
+	}
+
+	// A generous budget refines past the configured coarse ε (the unbudgeted
+	// cached entry is not reused for a budgeted read).
+	deep, err := client.TopKBudget(cold, 8, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deep.Approx || deep.Truncated || deep.Epsilon >= first.Epsilon {
+		t.Fatalf("budgeted read did not refine: eps %g (coarse %g), %+v", deep.Epsilon, first.Epsilon, deep)
+	}
+	if _, err := client.EstimateBudget(cold, 0, time.Minute); err != nil {
+		t.Fatalf("budgeted estimate: %v", err)
+	}
+
+	// Parameter validation: non-numeric and negative budgets are 400s.
+	for _, bad := range []string{"abc", "-5"} {
+		resp, err := http.Get(client.BaseURL() + "/topk?source=1&budget_ms=" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("budget_ms=%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// Batched queries carry per-query budgets; a negative one fails inline.
+	results, err := client.Query([]httpapi.Query{
+		{Kind: httpapi.KindTopK, Source: cold, K: 4, BudgetMS: 60_000},
+		{Kind: httpapi.KindEstimate, Source: cold, Vertex: 1},
+		{Kind: httpapi.KindTopK, Source: cold, K: 4, BudgetMS: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].TopK == nil || !results[0].TopK.Approx || results[0].TopK.Epsilon >= first.Epsilon {
+		t.Fatalf("batched budgeted topk: %+v", results[0])
+	}
+	if results[1].Estimate == nil || !results[1].Estimate.Approx {
+		t.Fatalf("batched estimate: %+v", results[1])
+	}
+	if results[2].Error == "" || results[2].Status != http.StatusBadRequest {
+		t.Fatalf("negative batched budget: %+v", results[2])
+	}
+
+	// The new stats fields and metric families are populated.
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	od := st.Service.OnDemand
+	if od == nil || od.ColdPushes == 0 || od.CacheHits == 0 || od.CacheCapacity == 0 ||
+		od.CacheEntries == 0 || od.PoolWorkers <= 0 {
+		t.Fatalf("on-demand concurrency stats not populated: %+v", od)
+	}
+	text, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := promexp.ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("metrics do not parse: %v", err)
+	}
+	byName := map[string]bool{}
+	for _, f := range fams {
+		byName[f.Name] = true
+	}
+	for _, name := range []string{
+		"dppr_ondemand_cold_pushes_total", "dppr_ondemand_cache_hits_total",
+		"dppr_ondemand_cache_misses_total", "dppr_ondemand_coalesced_total",
+		"dppr_ondemand_budget_truncated_total", "dppr_ondemand_cache_entries",
+		"dppr_ondemand_pool_workers", "dppr_ondemand_pool_depth",
+	} {
+		if !byName[name] {
 			t.Fatalf("family %s missing from /metrics", name)
 		}
 	}

@@ -110,6 +110,22 @@ func (h *Handler) gather() []promexp.Family {
 		fams = append(fams,
 			counter("dppr_ondemand_queries_total",
 				"Answers served by the on-demand (approximate) query path.", float64(od.Queries)),
+			counter("dppr_ondemand_cold_pushes_total",
+				"Cold local pushes executed by the on-demand worker pool.", float64(od.ColdPushes)),
+			counter("dppr_ondemand_cache_hits_total",
+				"On-demand queries answered from the result cache.", float64(od.CacheHits)),
+			counter("dppr_ondemand_cache_misses_total",
+				"On-demand queries that missed the result cache.", float64(od.CacheMisses)),
+			counter("dppr_ondemand_coalesced_total",
+				"On-demand queries answered by an identical in-flight cold push.", float64(od.Coalesced)),
+			counter("dppr_ondemand_budget_truncated_total",
+				"Budgeted on-demand queries stopped by their latency budget.", float64(od.BudgetTruncated)),
+			gauge("dppr_ondemand_cache_entries",
+				"Entries resident in the on-demand result cache.", float64(od.CacheEntries)),
+			gauge("dppr_ondemand_pool_workers",
+				"Workers in the on-demand cold-push pool.", float64(od.PoolWorkers)),
+			gauge("dppr_ondemand_pool_depth",
+				"Cold pushes executing right now.", float64(od.PoolDepth)),
 			counter("dppr_ondemand_walks_total",
 				"Monte-Carlo refinement walks run by on-demand queries.", float64(od.Walks)),
 			counter("dppr_ondemand_snapshot_builds_total",

@@ -2,6 +2,7 @@ package push
 
 import (
 	"fmt"
+	"time"
 
 	"dynppr/internal/graph"
 )
@@ -31,7 +32,39 @@ type ColdPushResult struct {
 	// Capped reports that the push stopped at maxPushes with work left; the
 	// result is still sound, just with a larger MaxResidual.
 	Capped bool
+	// BudgetExhausted reports that a latency budget (ColdPushBounds.Budget)
+	// limited the work. The result is still sound under MaxResidual; it just
+	// was not refined past the level the budget paid for.
+	BudgetExhausted bool
 }
+
+// ColdPushBounds bound a single budgeted cold push (the ColdPushCSRBounded /
+// ColdPushBounded entry points).
+type ColdPushBounds struct {
+	// MaxPushes bounds the total vertex pushes across all refinement levels;
+	// <= 0 means unbounded.
+	MaxPushes int64
+	// Budget is the wall-clock budget for the push. <= 0 disables the
+	// adaptive ladder: the push runs exactly like ColdPushCSR/ColdPush.
+	//
+	// When set, the push first drains the frontier at the configured
+	// cfg.Epsilon — that first level is never time-truncated, so a budgeted
+	// push can only ever emit answers the unbudgeted push could also emit —
+	// and then keeps halving ε and re-draining while budget remains, down to
+	// MinEpsilon. A level interrupted mid-drain (deadline or MaxPushes) is
+	// rolled back to the last completed one, so every emitted answer is a
+	// deterministic function of (graph, source, cfg, achieved level); only
+	// which level is achieved depends on timing.
+	Budget time.Duration
+	// MinEpsilon is the floor of the adaptive ladder; the push never refines
+	// past it no matter how much budget remains. <= 0 selects 1e-9.
+	MinEpsilon float64
+}
+
+// budgetCheckStride is how many frontier iterations pass between deadline
+// reads inside a budgeted level — frequent enough to bound overshoot, rare
+// enough that time.Now stays invisible next to the push work itself.
+const budgetCheckStride = 4096
 
 // ColdPushCSR runs the paper's local push from a cold start on an immutable
 // CSR snapshot: starting from a unit residual at source, it repeatedly moves
@@ -60,6 +93,13 @@ type ColdPushResult struct {
 // ns/edge for touched-proportional setup. A differential test pins them to
 // bit-identical results.
 func ColdPushCSR(c *graph.CSR, source graph.VertexID, cfg Config, maxPushes int64) (*ColdPushResult, error) {
+	return ColdPushCSRBounded(c, source, cfg, ColdPushBounds{MaxPushes: maxPushes})
+}
+
+// ColdPushCSRBounded is ColdPushCSR under explicit bounds — in particular
+// the adaptive-ε latency budget documented on ColdPushBounds.Budget. With a
+// zero Budget it is exactly ColdPushCSR.
+func ColdPushCSRBounded(c *graph.CSR, source graph.VertexID, cfg Config, b ColdPushBounds) (*ColdPushResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -67,24 +107,72 @@ func ColdPushCSR(c *graph.CSR, source graph.VertexID, cfg Config, maxPushes int6
 	if source < 0 || int(source) >= n {
 		return nil, fmt.Errorf("push: source %d outside snapshot vertex range [0,%d)", source, n)
 	}
+	var deadline time.Time
+	if b.Budget > 0 {
+		deadline = time.Now().Add(b.Budget)
+	}
 	res := &ColdPushResult{
 		Estimates: make([]float64, n),
 		Residuals: make([]float64, n),
 	}
-	r := res.Residuals
-	p := res.Estimates
-	r[source] = 1
-
+	res.Residuals[source] = 1
 	queue := make([]graph.VertexID, 0, 64)
 	queue = append(queue, source)
 	inQueue := make([]bool, n)
 	inQueue[source] = true
-	alpha, eps := cfg.Alpha, cfg.Epsilon
 
+	// Level 0: the configured ε, bounded by MaxPushes only. The deadline is
+	// deliberately not consulted, so the coarse answer is never a
+	// timing-dependent intermediate state (see ColdPushBounds.Budget).
+	queue = coldPushLevelCSR(c, res, queue, inQueue, cfg.Alpha, cfg.Epsilon, b.MaxPushes, time.Time{})
+
+	if b.Budget > 0 && !res.Capped {
+		var saved ladderState
+		for eps := range b.ladder(cfg.Epsilon) {
+			if time.Now().After(deadline) {
+				res.BudgetExhausted = true
+				break
+			}
+			saved.save(res)
+			queue = rebuildFrontier(res.Residuals, eps, queue, inQueue)
+			queue = coldPushLevelCSR(c, res, queue, inQueue, cfg.Alpha, eps, b.MaxPushes, deadline)
+			if res.Capped {
+				// Interrupted mid-level: the emitted answer is the last
+				// completed level, not the partial drain.
+				saved.restore(res)
+				res.Capped = false
+				break
+			}
+		}
+	}
+
+	finishColdPush(res)
+	return res, nil
+}
+
+// coldPushLevelCSR drains the frontier at threshold eps on the dispatch-free
+// CSR body. It stops early when the cumulative push count reaches maxPushes
+// (res.Capped) or, when deadline is nonzero, once the deadline passes
+// (res.Capped and res.BudgetExhausted; checked every budgetCheckStride
+// iterations). The returned slice is the unconsumed frontier.
+func coldPushLevelCSR(c *graph.CSR, res *ColdPushResult, queue []graph.VertexID, inQueue []bool, alpha, eps float64, maxPushes int64, deadline time.Time) []graph.VertexID {
+	r := res.Residuals
+	p := res.Estimates
+	sinceCheck := 0
 	for len(queue) > 0 {
 		if maxPushes > 0 && res.Pushes >= maxPushes {
 			res.Capped = true
 			break
+		}
+		if !deadline.IsZero() {
+			if sinceCheck++; sinceCheck >= budgetCheckStride {
+				sinceCheck = 0
+				if time.Now().After(deadline) {
+					res.Capped = true
+					res.BudgetExhausted = true
+					break
+				}
+			}
 		}
 		u := queue[0]
 		queue = queue[1:]
@@ -104,14 +192,7 @@ func ColdPushCSR(c *graph.CSR, source graph.VertexID, cfg Config, maxPushes int6
 			}
 		}
 	}
-
-	for _, rv := range r {
-		res.ResidualMass += rv
-		if rv > res.MaxResidual {
-			res.MaxResidual = rv
-		}
-	}
-	return res, nil
+	return queue
 }
 
 // ColdPush runs the identical cold push over any frozen adjacency (see
@@ -119,6 +200,12 @@ func ColdPushCSR(c *graph.CSR, source graph.VertexID, cfg Config, maxPushes int6
 // and therefore every floating-point sum, matches ColdPushCSR exactly on a
 // logically equal graph.
 func ColdPush(a graph.Adjacency, source graph.VertexID, cfg Config, maxPushes int64) (*ColdPushResult, error) {
+	return ColdPushBounded(a, source, cfg, ColdPushBounds{MaxPushes: maxPushes})
+}
+
+// ColdPushBounded is ColdPush under explicit bounds (see
+// ColdPushCSRBounded); bit-identical to it on a logically equal graph.
+func ColdPushBounded(a graph.Adjacency, source graph.VertexID, cfg Config, b ColdPushBounds) (*ColdPushResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,24 +213,63 @@ func ColdPush(a graph.Adjacency, source graph.VertexID, cfg Config, maxPushes in
 	if source < 0 || int(source) >= n {
 		return nil, fmt.Errorf("push: source %d outside snapshot vertex range [0,%d)", source, n)
 	}
+	var deadline time.Time
+	if b.Budget > 0 {
+		deadline = time.Now().Add(b.Budget)
+	}
 	res := &ColdPushResult{
 		Estimates: make([]float64, n),
 		Residuals: make([]float64, n),
 	}
-	r := res.Residuals
-	p := res.Estimates
-	r[source] = 1
-
+	res.Residuals[source] = 1
 	queue := make([]graph.VertexID, 0, 64)
 	queue = append(queue, source)
 	inQueue := make([]bool, n)
 	inQueue[source] = true
-	alpha, eps := cfg.Alpha, cfg.Epsilon
 
+	queue = coldPushLevel(a, res, queue, inQueue, cfg.Alpha, cfg.Epsilon, b.MaxPushes, time.Time{})
+
+	if b.Budget > 0 && !res.Capped {
+		var saved ladderState
+		for eps := range b.ladder(cfg.Epsilon) {
+			if time.Now().After(deadline) {
+				res.BudgetExhausted = true
+				break
+			}
+			saved.save(res)
+			queue = rebuildFrontier(res.Residuals, eps, queue, inQueue)
+			queue = coldPushLevel(a, res, queue, inQueue, cfg.Alpha, eps, b.MaxPushes, deadline)
+			if res.Capped {
+				saved.restore(res)
+				res.Capped = false
+				break
+			}
+		}
+	}
+
+	finishColdPush(res)
+	return res, nil
+}
+
+// coldPushLevel is coldPushLevelCSR over any frozen adjacency.
+func coldPushLevel(a graph.Adjacency, res *ColdPushResult, queue []graph.VertexID, inQueue []bool, alpha, eps float64, maxPushes int64, deadline time.Time) []graph.VertexID {
+	r := res.Residuals
+	p := res.Estimates
+	sinceCheck := 0
 	for len(queue) > 0 {
 		if maxPushes > 0 && res.Pushes >= maxPushes {
 			res.Capped = true
 			break
+		}
+		if !deadline.IsZero() {
+			if sinceCheck++; sinceCheck >= budgetCheckStride {
+				sinceCheck = 0
+				if time.Now().After(deadline) {
+					res.Capped = true
+					res.BudgetExhausted = true
+					break
+				}
+			}
 		}
 		u := queue[0]
 		queue = queue[1:]
@@ -163,12 +289,68 @@ func ColdPush(a graph.Adjacency, source graph.VertexID, cfg Config, maxPushes in
 			}
 		}
 	}
+	return queue
+}
 
-	for _, rv := range r {
+// ladder yields the ε levels below the configured start, halving down to
+// MinEpsilon (inclusive within a halving).
+func (b ColdPushBounds) ladder(start float64) func(func(float64) bool) {
+	minEps := b.MinEpsilon
+	if minEps <= 0 {
+		minEps = 1e-9
+	}
+	return func(yield func(float64) bool) {
+		for eps := start / 2; eps >= minEps; eps /= 2 {
+			if !yield(eps) {
+				return
+			}
+		}
+	}
+}
+
+// ladderState snapshots a completed refinement level so a level interrupted
+// mid-drain can be rolled back (see ColdPushBounds.Budget). Buffers are
+// reused across levels.
+type ladderState struct {
+	est, res []float64
+	pushes   int64
+}
+
+func (ls *ladderState) save(r *ColdPushResult) {
+	ls.est = append(ls.est[:0], r.Estimates...)
+	ls.res = append(ls.res[:0], r.Residuals...)
+	ls.pushes = r.Pushes
+}
+
+func (ls *ladderState) restore(r *ColdPushResult) {
+	copy(r.Estimates, ls.est)
+	copy(r.Residuals, ls.res)
+	r.Pushes = ls.pushes
+}
+
+// rebuildFrontier collects every vertex whose residual exceeds eps, in
+// ascending vertex order (deterministic), resetting the membership bitmap.
+func rebuildFrontier(r []float64, eps float64, queue []graph.VertexID, inQueue []bool) []graph.VertexID {
+	queue = queue[:0]
+	for i := range inQueue {
+		inQueue[i] = false
+	}
+	for v, rv := range r {
+		if rv > eps {
+			queue = append(queue, graph.VertexID(v))
+			inQueue[v] = true
+		}
+	}
+	return queue
+}
+
+// finishColdPush computes the residual aggregates from the final residual
+// vector.
+func finishColdPush(res *ColdPushResult) {
+	for _, rv := range res.Residuals {
 		res.ResidualMass += rv
 		if rv > res.MaxResidual {
 			res.MaxResidual = rv
 		}
 	}
-	return res, nil
 }

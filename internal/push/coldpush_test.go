@@ -3,6 +3,7 @@ package push
 import (
 	"math"
 	"testing"
+	"time"
 
 	"dynppr/internal/gen"
 	"dynppr/internal/graph"
@@ -166,6 +167,104 @@ func TestColdPushMatchesColdPushCSR(t *testing.T) {
 	for v := range a.Estimates {
 		if math.Float64bits(a.Estimates[v]) != math.Float64bits(b.Estimates[v]) {
 			t.Fatalf("compacted vertex %d: %g vs %g", v, a.Estimates[v], b.Estimates[v])
+		}
+	}
+}
+
+// TestColdPushBoundedLadder covers the adaptive-ε budget: a generous budget
+// descends the ladder deterministically to the floor, a spent budget stops at
+// the coarse level with the exact unbudgeted floats, and a MaxPushes hit
+// mid-level rolls back to the last completed level rather than emitting a
+// partial drain.
+func TestColdPushBoundedLadder(t *testing.T) {
+	c := coldPushSnapshot(t, 250, 1500, 7)
+	cfg := Config{Alpha: 0.15, Epsilon: 1e-4}
+	src := graph.VertexID(13)
+	base, err := ColdPushCSR(c, src, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero budget: ColdPushCSRBounded is ColdPushCSR.
+	zero, err := ColdPushCSRBounded(c, src, cfg, ColdPushBounds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSamePush(t, "zero budget", zero, base)
+
+	// A budget that is already spent after level 0 must emit exactly the
+	// unbudgeted coarse answer — the first level is never time-truncated.
+	spent, err := ColdPushCSRBounded(c, src, cfg, ColdPushBounds{Budget: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spent.BudgetExhausted {
+		t.Fatal("1ns budget must report BudgetExhausted")
+	}
+	spent.BudgetExhausted = false
+	requireSamePush(t, "spent budget", spent, base)
+
+	// A generous budget descends to the floor deterministically; the achieved
+	// bound beats the configured ε and the answer still differential-checks.
+	bounds := ColdPushBounds{Budget: time.Minute, MinEpsilon: 1e-7}
+	deep, err := ColdPushCSRBounded(c, src, cfg, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.BudgetExhausted || deep.Capped {
+		t.Fatalf("generous budget must reach the floor uninterrupted: %+v", deep)
+	}
+	// The deepest level is the last halving ≥ the floor, so the achieved
+	// bound lands within 2× of it.
+	if deep.MaxResidual > 2e-7 {
+		t.Fatalf("ladder floor not approached: MaxResidual %g", deep.MaxResidual)
+	}
+	deep2, err := ColdPushCSRBounded(c, src, cfg, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSamePush(t, "ladder determinism", deep2, deep)
+	oracle, err := power.Reverse(c, src, power.Options{Alpha: 0.15, Tolerance: 1e-13, MaxIterations: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, est := range deep.Estimates {
+		if d := math.Abs(est - oracle[v]); d > deep.MaxResidual+1e-12 {
+			t.Fatalf("vertex %d: |%g - %g| exceeds ladder MaxResidual %g", v, est, oracle[v], deep.MaxResidual)
+		}
+	}
+
+	// MaxPushes hit a few pushes into level 1: the partial level is rolled
+	// back, so the answer is bit-identical to the completed coarse level.
+	roll, err := ColdPushCSRBounded(c, src, cfg, ColdPushBounds{
+		Budget: time.Minute, MinEpsilon: 1e-7, MaxPushes: base.Pushes + 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roll.Capped {
+		t.Fatal("rolled-back ladder answer must not report Capped")
+	}
+	requireSamePush(t, "mid-level rollback", roll, base)
+
+	// The Adjacency twin stays bit-identical under identical bounds.
+	viewDeep, err := ColdPushBounded(c, src, cfg, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSamePush(t, "adjacency twin", viewDeep, deep)
+}
+
+func requireSamePush(t *testing.T, what string, got, want *ColdPushResult) {
+	t.Helper()
+	if got.Pushes != want.Pushes || got.Capped != want.Capped ||
+		got.BudgetExhausted != want.BudgetExhausted ||
+		math.Float64bits(got.MaxResidual) != math.Float64bits(want.MaxResidual) {
+		t.Fatalf("%s: metadata diverged: %+v vs %+v", what, got, want)
+	}
+	for v := range got.Estimates {
+		if math.Float64bits(got.Estimates[v]) != math.Float64bits(want.Estimates[v]) {
+			t.Fatalf("%s: vertex %d: %g vs %g (bit mismatch)", what, v, got.Estimates[v], want.Estimates[v])
 		}
 	}
 }

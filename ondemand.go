@@ -16,6 +16,18 @@
 // error bound without ever changing the meaning of its answers. The result
 // carries the achieved per-vertex bound so callers know what they got.
 //
+// Cold answers are computed concurrently but never redundantly: identical
+// in-flight queries are singleflight-coalesced by (source, graph
+// generation), the pushes themselves run on a small bounded worker pool
+// with ctx-bounded admission (overload still surfaces ErrOverloaded, never
+// partial effects), and completed answers land in a bounded LRU result
+// cache under the same (source, generation) key — a repeat query between
+// graph mutations is an O(k) read, and a mutation invalidates the cache for
+// free because the generation moves (compaction does not bump it). A
+// per-query latency budget (QueryOptions.Budget) buys adaptive ε: the push
+// starts at the configured coarse ε and keeps refining while budget
+// remains, always reporting the achieved bound.
+//
 // A frequency-based admission cache watches on-demand traffic: a source
 // queried at least PromoteAfter times is promoted into tracked state through
 // the live AddSource path, and when the auto-promoted set is at capacity the
@@ -34,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynppr/internal/fp"
 	"dynppr/internal/graph"
 	"dynppr/internal/montecarlo"
 	"dynppr/internal/push"
@@ -76,6 +89,19 @@ type OnDemandOptions struct {
 	MaxPushes int64
 	// MaxWalkLength caps each refinement walk; <= 0 selects 1000.
 	MaxWalkLength int
+	// Workers bounds how many cold pushes execute concurrently. Queries
+	// beyond that wait for a worker under ctx-bounded admission — if none
+	// frees up before the context is done the query sheds with
+	// ErrOverloaded, having had no effect. <= 0 selects a GOMAXPROCS-derived
+	// default.
+	Workers int
+	// ResultCache caps the bounded LRU cache of computed cold answers,
+	// keyed by (source, graph generation). Repeat queries for a source
+	// between graph mutations are O(k) reads of the cached answer; any
+	// effective mutation moves the generation and so invalidates the cache
+	// for free (compaction does not). 0 selects 256; negative disables
+	// caching.
+	ResultCache int
 }
 
 // withDefaults resolves the zero values documented on each field.
@@ -95,7 +121,31 @@ func (o OnDemandOptions) withDefaults() OnDemandOptions {
 	if o.MaxWalkLength <= 0 {
 		o.MaxWalkLength = 1000
 	}
+	if o.Workers <= 0 {
+		o.Workers = fp.DefaultWorkers()
+	}
+	if o.ResultCache == 0 {
+		o.ResultCache = 256
+	}
 	return o
+}
+
+// QueryOptions tune a single Query* call. The zero value is the default
+// behavior: push exactly to the configured on-demand ε, no latency budget.
+type QueryOptions struct {
+	// Budget is a per-query latency target for the cold-push work. When set,
+	// the push spends it adaptively: it first runs to the configured coarse
+	// ε (that level is never time-truncated), then keeps halving ε while
+	// budget remains — never past the service's tracked ε — and reports the
+	// achieved bound in QueryInfo.Epsilon. Every emitted answer is a
+	// deterministic function of (graph, source, configuration, achieved
+	// refinement level); only which level the budget buys depends on timing,
+	// so budgeted answers are cached and coalesced separately from
+	// unbudgeted ones, which stay bit-deterministic.
+	//
+	// The budget bounds compute, not admission: waiting for a pool worker is
+	// governed by the call's context.
+	Budget time.Duration
 }
 
 // QueryInfo describes how a QueryTopK/QueryEstimate answer was produced.
@@ -119,6 +169,18 @@ type QueryInfo struct {
 	// Promoted reports that this query crossed the promotion threshold and
 	// the source is now tracked; subsequent reads take the exact path.
 	Promoted bool
+	// Cached reports that the answer was served from the on-demand result
+	// cache rather than recomputed. A cached answer carries the QueryInfo
+	// of the query that computed it (same graph generation, so same
+	// bound); its Monte-Carlo refinement targeted that query's answer
+	// shape, which never affects the advertised bound.
+	Cached bool
+	// Coalesced reports that this query shared the computation of an
+	// identical in-flight query instead of pushing redundantly.
+	Coalesced bool
+	// Truncated reports that the push stopped early (MaxPushes or the
+	// latency budget); Epsilon still soundly bounds the error.
+	Truncated bool
 }
 
 // onDemand is the Service's on-demand query engine. All fields are
@@ -133,6 +195,21 @@ type onDemand struct {
 	// (serialized with writes — Graph itself is not safe for concurrent use),
 	// at a cost proportional to the delta segments present, not graph size.
 	snap atomic.Pointer[odSnapshot]
+
+	// tasks hands cold-push jobs to the worker pool. It is unbuffered on
+	// purpose: a job is either picked up by a live worker or not submitted
+	// at all, so ctx-bounded admission can never strand accepted work.
+	tasks     chan func()
+	quit      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	// fmu guards the singleflight table of in-flight cold computations.
+	fmu     sync.Mutex
+	flights map[odFlightKey]*odFlight
+
+	// cache is the bounded LRU of computed answers; nil when disabled.
+	cache *odCache
 
 	// mu guards the admission cache and serializes auto-registry mutations.
 	mu    sync.Mutex
@@ -152,6 +229,12 @@ type onDemand struct {
 	lastSnapshotDelta atomic.Int64
 	promotions        atomic.Int64
 	evictions         atomic.Int64
+	coldPushes        atomic.Int64
+	coalesced         atomic.Int64
+	cacheHits         atomic.Int64
+	cacheMisses       atomic.Int64
+	budgetTruncated   atomic.Int64
+	poolDepth         atomic.Int64
 	lastLatency       atomic.Int64 // nanoseconds
 	totalLatency      atomic.Int64 // nanoseconds
 }
@@ -184,13 +267,46 @@ type odCandidate struct {
 
 func newOnDemand(svc *Service, opts OnDemandOptions) *onDemand {
 	od := &onDemand{
-		opts: opts.withDefaults(),
-		svc:  svc,
-		cand: make(map[VertexID]*odCandidate),
+		opts:    opts.withDefaults(),
+		svc:     svc,
+		cand:    make(map[VertexID]*odCandidate),
+		tasks:   make(chan func()),
+		quit:    make(chan struct{}),
+		flights: make(map[odFlightKey]*odFlight),
+	}
+	if od.opts.ResultCache > 0 {
+		od.cache = newODCache(od.opts.ResultCache)
 	}
 	empty := make(map[VertexID]*atomic.Int64)
 	od.auto.Store(&empty)
+	od.wg.Add(od.opts.Workers)
+	for i := 0; i < od.opts.Workers; i++ {
+		go od.worker()
+	}
 	return od
+}
+
+// worker executes cold-push jobs until the pool shuts down. A job accepted
+// from tasks always runs to completion — it touches only pinned immutable
+// snapshots, so it is safe even while the service closes around it.
+func (od *onDemand) worker() {
+	defer od.wg.Done()
+	for {
+		select {
+		case <-od.quit:
+			return
+		case job := <-od.tasks:
+			job()
+		}
+	}
+}
+
+// close shuts the worker pool down and waits it out. Queries blocked in pool
+// admission fail with ErrServiceClosed; in-flight pushes complete and their
+// waiters get the answer.
+func (od *onDemand) close() {
+	od.closeOnce.Do(func() { close(od.quit) })
+	od.wg.Wait()
 }
 
 // mutateAuto publishes a modified copy of the auto-source registry. Callers
@@ -207,10 +323,29 @@ func (od *onDemand) mutateAuto(f func(map[VertexID]*atomic.Int64)) {
 
 // OnDemandStats reports the on-demand query path's counters.
 type OnDemandStats struct {
-	// Queries counts answers served by the on-demand (approximate) path.
-	// Reads that hit a tracked source — including promoted ones — do not
-	// count here.
+	// Queries counts answers served by the on-demand (approximate) path —
+	// computed, coalesced, or cached alike. Reads that hit a tracked source,
+	// including promoted ones, do not count here.
 	Queries int64
+	// ColdPushes counts cold pushes actually executed; Queries minus
+	// ColdPushes is the work the coalescer and result cache saved.
+	ColdPushes int64
+	// CacheHits and CacheMisses count result-cache lookups (0 when the
+	// cache is disabled). Coalesced counts queries that shared an identical
+	// in-flight computation instead of pushing redundantly.
+	CacheHits   int64
+	CacheMisses int64
+	Coalesced   int64
+	// BudgetTruncated counts budgeted queries whose push was stopped by the
+	// latency budget before reaching the configured ε.
+	BudgetTruncated int64
+	// CacheEntries and CacheCapacity describe the result cache;
+	// PoolWorkers and PoolDepth the cold-push worker pool (depth = pushes
+	// executing right now).
+	CacheEntries  int
+	CacheCapacity int
+	PoolWorkers   int
+	PoolDepth     int64
 	// Walks counts Monte-Carlo refinement walks across all queries.
 	Walks int64
 	// SnapshotBuilds counts graph-view rebuilds (one per graph mutation
@@ -242,8 +377,15 @@ func (od *onDemand) stats() *OnDemandStats {
 	cands := len(od.cand)
 	od.mu.Unlock()
 	autos := len(*od.auto.Load())
-	return &OnDemandStats{
+	st := &OnDemandStats{
 		Queries:                od.queries.Load(),
+		ColdPushes:             od.coldPushes.Load(),
+		CacheHits:              od.cacheHits.Load(),
+		CacheMisses:            od.cacheMisses.Load(),
+		Coalesced:              od.coalesced.Load(),
+		BudgetTruncated:        od.budgetTruncated.Load(),
+		PoolWorkers:            od.opts.Workers,
+		PoolDepth:              od.poolDepth.Load(),
 		Walks:                  od.walks.Load(),
 		SnapshotBuilds:         od.snapshotBuilds.Load(),
 		LastSnapshotDeltaEdges: od.lastSnapshotDelta.Load(),
@@ -254,6 +396,11 @@ func (od *onDemand) stats() *OnDemandStats {
 		LastLatency:            time.Duration(od.lastLatency.Load()),
 		TotalLatency:           time.Duration(od.totalLatency.Load()),
 	}
+	if od.cache != nil {
+		st.CacheEntries = od.cache.size()
+		st.CacheCapacity = od.cache.cap
+	}
+	return st
 }
 
 // QueryTopK returns the k vertices with the largest PPR estimates for
@@ -265,23 +412,27 @@ func (s *Service) QueryTopK(source VertexID, k int) ([]VertexScore, QueryInfo, e
 	return s.QueryTopKCtx(context.Background(), source, k)
 }
 
-// QueryTopKCtx is QueryTopK with bounded admission for the pipeline work an
-// on-demand answer may need (snapshot refresh after a graph mutation,
-// promotion): if the write queue stays full until ctx is done those give up
-// with ErrOverloaded. Tracked-source reads never touch the pipeline and
-// ignore ctx.
+// QueryTopKCtx is QueryTopK with bounded admission for the pipeline and
+// pool work an on-demand answer may need (snapshot refresh after a graph
+// mutation, a cold-push worker slot, promotion): if those stay contended
+// until ctx is done the query gives up with ErrOverloaded, having had no
+// effect. Tracked-source reads never touch the pipeline and ignore ctx.
 func (s *Service) QueryTopKCtx(ctx context.Context, source VertexID, k int) ([]VertexScore, QueryInfo, error) {
+	return s.QueryTopKOpts(ctx, source, k, QueryOptions{})
+}
+
+// QueryTopKOpts is QueryTopKCtx with per-query options (see QueryOptions).
+func (s *Service) QueryTopKOpts(ctx context.Context, source VertexID, k int, opts QueryOptions) ([]VertexScore, QueryInfo, error) {
 	if top, info, err := s.TopKInfo(source, k); err == nil {
-		s.od.touch(source)
 		return top, QueryInfo{Epsilon: info.Epsilon, Snapshot: info}, nil
 	} else if !errorIsUnknownSource(err) || s.od == nil {
 		return nil, QueryInfo{}, err
 	}
-	res, qi, err := s.onDemandQuery(ctx, source, odRefine{topK: k})
+	e, qi, err := s.onDemandQuery(ctx, source, odRefine{topK: k}, opts)
 	if err != nil {
 		return nil, QueryInfo{}, err
 	}
-	return res.topK(k), qi, nil
+	return e.topK(k), qi, nil
 }
 
 // QueryEstimate returns the PPR estimate of v with respect to source,
@@ -294,17 +445,22 @@ func (s *Service) QueryEstimate(source, v VertexID) (float64, QueryInfo, error) 
 // QueryEstimateCtx is QueryEstimate with bounded admission (see
 // QueryTopKCtx).
 func (s *Service) QueryEstimateCtx(ctx context.Context, source, v VertexID) (float64, QueryInfo, error) {
+	return s.QueryEstimateOpts(ctx, source, v, QueryOptions{})
+}
+
+// QueryEstimateOpts is QueryEstimateCtx with per-query options (see
+// QueryOptions).
+func (s *Service) QueryEstimateOpts(ctx context.Context, source, v VertexID, opts QueryOptions) (float64, QueryInfo, error) {
 	if est, info, err := s.EstimateInfo(source, v); err == nil {
-		s.od.touch(source)
 		return est, QueryInfo{Epsilon: info.Epsilon, Snapshot: info}, nil
 	} else if !errorIsUnknownSource(err) || s.od == nil {
 		return 0, QueryInfo{}, err
 	}
-	res, qi, err := s.onDemandQuery(ctx, source, odRefine{v: v})
+	e, qi, err := s.onDemandQuery(ctx, source, odRefine{v: v}, opts)
 	if err != nil {
 		return 0, QueryInfo{}, err
 	}
-	return res.estimate(v), qi, nil
+	return e.res.estimate(v), qi, nil
 }
 
 // errorIsUnknownSource reports whether err is the untracked-source error —
@@ -349,6 +505,97 @@ func (r *odResult) topK(k int) []VertexScore {
 	}, k)
 }
 
+// odKey identifies a cold answer: the (source, graph generation) pair the
+// coalescer and the result cache are keyed by. The generation moves on every
+// effective mutation (and not on compaction), so staleness needs no clocks.
+type odKey struct {
+	source VertexID
+	gen    uint64
+}
+
+// odFlightKey is the singleflight key. Budgeted and unbudgeted computations
+// never coalesce with each other: an unbudgeted answer must stay a
+// bit-deterministic function of (source, generation), which a
+// timing-dependent budgeted push cannot promise.
+type odFlightKey struct {
+	key      odKey
+	budgeted bool
+}
+
+// odFlight is one in-flight cold computation; concurrent identical queries
+// wait on done and share entry/err.
+type odFlight struct {
+	done  chan struct{}
+	entry *odEntry
+	err   error
+}
+
+// odEntry is one computed cold answer. It is immutable after publication
+// except for the lazily memoized ranking, so cached and coalesced readers
+// share it freely.
+type odEntry struct {
+	res   *odResult
+	eps   float64
+	walks int
+	// truncated records that the push stopped early (MaxPushes or budget);
+	// eps covers the unfinished work either way.
+	truncated bool
+	// budgeted entries were computed under a latency budget. The cache
+	// serves them only to budgeted queries — an unbudgeted query recomputes
+	// (and overwrites the entry with) the deterministic full-ε answer.
+	budgeted bool
+	vertices int
+
+	// mu guards top, the memoized exact top-len ranking, built on the first
+	// topK read and extended if a larger k arrives. scoreBetter is a strict
+	// total order, so a prefix of a longer ranking is bit-identical to a
+	// direct top-k selection.
+	mu  sync.Mutex
+	top []VertexScore
+}
+
+// topK returns the entry's top-k ranking, memoized so cache hits are O(k)
+// after the first read instead of an O(n log k) scan per query.
+func (e *odEntry) topK(k int) []VertexScore {
+	r := e.res
+	if r.estimates == nil || k <= 0 {
+		return r.topK(k)
+	}
+	if k > len(r.estimates) {
+		k = len(r.estimates)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.top) < k {
+		want := 2 * k
+		if want < 64 {
+			want = 64
+		}
+		e.top = push.AppendTopKFunc(nil, len(r.estimates), func(i int) float64 {
+			return r.estimates[i]
+		}, want)
+	}
+	out := make([]VertexScore, k)
+	copy(out, e.top[:k])
+	return out
+}
+
+// queryInfo synthesizes the QueryInfo a read of this entry reports.
+func (e *odEntry) queryInfo(source VertexID) QueryInfo {
+	return QueryInfo{
+		Approx:    true,
+		Epsilon:   e.eps,
+		Walks:     e.walks,
+		Truncated: e.truncated,
+		Snapshot: SnapshotInfo{
+			Source:      source,
+			MaxResidual: e.eps,
+			Epsilon:     e.eps,
+			Vertices:    e.vertices,
+		},
+	}
+}
+
 // odRefine selects where a query's Monte-Carlo budget goes: a top-k answer
 // refines its candidate set, a point estimate refines just the requested
 // vertex.
@@ -362,9 +609,11 @@ type odRefine struct {
 // answer by its correction.
 const odRefinePad = 16
 
-// onDemandQuery computes the approximate answer for an untracked source and
-// feeds the admission cache (possibly promoting the source).
-func (s *Service) onDemandQuery(ctx context.Context, source VertexID, ref odRefine) (*odResult, QueryInfo, error) {
+// onDemandQuery answers an untracked source — from the result cache, by
+// joining an identical in-flight computation, or by running the push on the
+// worker pool — and feeds the admission cache (possibly promoting the
+// source).
+func (s *Service) onDemandQuery(ctx context.Context, source VertexID, ref odRefine, qo QueryOptions) (*odEntry, QueryInfo, error) {
 	od := s.od
 	if source < 0 {
 		return nil, QueryInfo{}, fmt.Errorf("dynppr: source must be non-negative, got %d", source)
@@ -374,46 +623,271 @@ func (s *Service) onDemandQuery(ctx context.Context, source VertexID, ref odRefi
 	if err != nil {
 		return nil, QueryInfo{}, err
 	}
-	res := &odResult{source: source, alpha: s.opts.Options.Alpha}
-	qi := QueryInfo{Approx: true}
-	if int(source) < snap.view.NumVertices() {
-		cfg := push.Config{Alpha: s.opts.Options.Alpha, Epsilon: od.opts.Epsilon}
-		var pr *push.ColdPushResult
-		var err error
-		// A compacted snapshot runs on the dispatch-free CSR body; a snapshot
-		// with live delta segments runs the identical push over the layered
-		// view (bit-identical on equal graphs, touched-proportional to set up).
-		if snap.base != nil {
-			pr, err = push.ColdPushCSR(snap.base, source, cfg, od.opts.MaxPushes)
-		} else {
-			pr, err = push.ColdPush(snap.view, source, cfg, od.opts.MaxPushes)
-		}
-		if err != nil {
-			return nil, QueryInfo{}, err
-		}
-		walks := od.refine(snap, source, pr, ref)
-		res.estimates = pr.Estimates
-		qi.Walks = walks
-		qi.Epsilon = pr.MaxResidual
-		qi.Snapshot = SnapshotInfo{
-			Source:      source,
-			MaxResidual: pr.MaxResidual,
-			Epsilon:     pr.MaxResidual,
-			Vertices:    snap.view.NumVertices(),
-		}
-	} else {
+	n := snap.view.NumVertices()
+	if int(source) >= n {
 		// The source is outside the snapshot: an isolated vertex, answered
-		// exactly (see odResult.estimates).
-		qi.Snapshot = SnapshotInfo{Source: source, Vertices: snap.view.NumVertices()}
+		// exactly (see odResult.estimates) — no push, no cache.
+		e := &odEntry{
+			res:      &odResult{source: source, alpha: s.opts.Options.Alpha},
+			vertices: n,
+		}
+		qi := e.queryInfo(source)
+		qi.Snapshot.MaxResidual, qi.Snapshot.Epsilon = 0, 0
+		od.finish(ctx, source, start, &qi)
+		return e, qi, nil
 	}
+	key := odKey{source: source, gen: snap.gen}
+	budgeted := qo.Budget > 0
+	if e := od.cacheGet(key, budgeted); e != nil {
+		qi := e.queryInfo(source)
+		qi.Cached = true
+		od.finish(ctx, source, start, &qi)
+		return e, qi, nil
+	}
+	e, shared, err := od.compute(ctx, key, snap, ref, qo)
+	if err != nil {
+		return nil, QueryInfo{}, err
+	}
+	qi := e.queryInfo(source)
+	qi.Coalesced = shared
+	od.finish(ctx, source, start, &qi)
+	return e, qi, nil
+}
+
+// finish settles a served on-demand answer: latency accounting, the
+// admission-cache note, and the possible promotion. Every served query
+// counts — cached and coalesced answers are demand too.
+func (od *onDemand) finish(ctx context.Context, source VertexID, start time.Time, qi *QueryInfo) {
 	elapsed := time.Since(start)
 	od.queries.Add(1)
 	od.lastLatency.Store(int64(elapsed))
 	od.totalLatency.Add(int64(elapsed))
-
 	od.note(source)
 	qi.Promoted = od.maybePromote(ctx, source)
-	return res, qi, nil
+}
+
+// compute coalesces onto an identical in-flight computation or runs the cold
+// push on the worker pool. The bool result reports sharing (for stats and
+// QueryInfo.Coalesced).
+func (od *onDemand) compute(ctx context.Context, key odKey, snap *odSnapshot, ref odRefine, qo QueryOptions) (*odEntry, bool, error) {
+	fkey := odFlightKey{key: key, budgeted: qo.Budget > 0}
+	for {
+		od.fmu.Lock()
+		if f, ok := od.flights[fkey]; ok {
+			od.fmu.Unlock()
+			select {
+			case <-f.done:
+				if f.err != nil {
+					// The leader failed pool admission on its own context.
+					// Ours may still be live — retry; the dead flight is
+					// gone, so the next lap either leads or joins a fresh
+					// one.
+					if errors.Is(f.err, ErrOverloaded) && ctx.Err() == nil {
+						continue
+					}
+					return nil, true, f.err
+				}
+				od.coalesced.Add(1)
+				return f.entry, true, nil
+			case <-ctx.Done():
+				return nil, true, fmt.Errorf("%w: %v", ErrOverloaded, ctx.Err())
+			}
+		}
+		f := &odFlight{done: make(chan struct{})}
+		od.flights[fkey] = f
+		od.fmu.Unlock()
+
+		settle := func() {
+			od.fmu.Lock()
+			delete(od.flights, fkey)
+			od.fmu.Unlock()
+			close(f.done)
+		}
+		job := func() {
+			defer settle()
+			od.poolDepth.Add(1)
+			defer od.poolDepth.Add(-1)
+			f.entry, f.err = od.runCold(key, snap, ref, qo)
+		}
+		// Pool admission. The task channel is unbuffered: a successful send
+		// means a worker has the job and will finish it, so waiting on
+		// f.done below cannot hang — not even across Close.
+		select {
+		case od.tasks <- job:
+			<-f.done
+			return f.entry, false, f.err
+		case <-od.quit:
+			f.err = ErrServiceClosed
+			settle()
+			return nil, false, f.err
+		case <-ctx.Done():
+			f.err = fmt.Errorf("%w: %v", ErrOverloaded, ctx.Err())
+			settle()
+			return nil, false, f.err
+		}
+	}
+}
+
+// runCold executes one cold push + refinement on a pool worker and publishes
+// the entry to the result cache.
+func (od *onDemand) runCold(key odKey, snap *odSnapshot, ref odRefine, qo QueryOptions) (*odEntry, error) {
+	s := od.svc
+	cfg := push.Config{Alpha: s.opts.Options.Alpha, Epsilon: od.opts.Epsilon}
+	bounds := push.ColdPushBounds{
+		MaxPushes: od.opts.MaxPushes,
+		Budget:    qo.Budget,
+		// The adaptive ladder never refines past the tracked ε — promotion
+		// must stay the strictly better tier.
+		MinEpsilon: s.opts.Options.Epsilon,
+	}
+	var pr *push.ColdPushResult
+	var err error
+	// A compacted snapshot runs on the dispatch-free CSR body; a snapshot
+	// with live delta segments runs the identical push over the layered
+	// view (bit-identical on equal graphs, touched-proportional to set up).
+	if snap.base != nil {
+		pr, err = push.ColdPushCSRBounded(snap.base, key.source, cfg, bounds)
+	} else {
+		pr, err = push.ColdPushBounded(snap.view, key.source, cfg, bounds)
+	}
+	if err != nil {
+		return nil, err
+	}
+	od.coldPushes.Add(1)
+	if pr.BudgetExhausted {
+		od.budgetTruncated.Add(1)
+	}
+	walks := od.refine(snap, key.source, pr, ref)
+	e := &odEntry{
+		res:       &odResult{estimates: pr.Estimates, source: key.source, alpha: cfg.Alpha},
+		eps:       pr.MaxResidual,
+		walks:     walks,
+		truncated: pr.Capped || pr.BudgetExhausted,
+		budgeted:  qo.Budget > 0,
+		vertices:  snap.view.NumVertices(),
+	}
+	od.cachePut(key, e)
+	return e, nil
+}
+
+// cacheGet looks the (source, generation) key up, honoring the budgeted-gate
+// policy documented on odEntry.budgeted.
+func (od *onDemand) cacheGet(key odKey, budgeted bool) *odEntry {
+	if od.cache == nil {
+		return nil
+	}
+	e := od.cache.get(key, budgeted)
+	if e != nil {
+		od.cacheHits.Add(1)
+	} else {
+		od.cacheMisses.Add(1)
+	}
+	return e
+}
+
+func (od *onDemand) cachePut(key odKey, e *odEntry) {
+	if od.cache != nil {
+		od.cache.put(key, e)
+	}
+}
+
+// odCache is the bounded LRU of cold answers. Entries for stale generations
+// are never requested again (the generation only advances) and age out of
+// the tail naturally.
+type odCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[odKey]*odCacheNode
+	// Intrusive doubly-linked LRU list; head is most recent.
+	head, tail *odCacheNode
+}
+
+type odCacheNode struct {
+	key        odKey
+	e          *odEntry
+	prev, next *odCacheNode
+}
+
+func newODCache(capacity int) *odCache {
+	return &odCache{cap: capacity, m: make(map[odKey]*odCacheNode, capacity)}
+}
+
+func (c *odCache) get(key odKey, budgeted bool) *odEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.m[key]
+	if n == nil {
+		return nil
+	}
+	if n.e.budgeted != budgeted {
+		// Budgeted and unbudgeted answers never serve each other: an
+		// unbudgeted query must get the deterministic full-ε answer, and a
+		// budgeted query must get the chance to refine past it rather than
+		// being pinned to a coarse cached entry. The recompute's put() will
+		// overwrite this entry (one slot per (source, generation); mixed
+		// traffic on one source alternates the slot, which is sound — every
+		// answer carries its own achieved bound).
+		return nil
+	}
+	c.moveToFront(n)
+	return n.e
+}
+
+func (c *odCache) put(key odKey, e *odEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := c.m[key]; n != nil {
+		n.e = e
+		c.moveToFront(n)
+		return
+	}
+	n := &odCacheNode{key: key, e: e}
+	c.m[key] = n
+	c.pushFront(n)
+	for len(c.m) > c.cap {
+		last := c.tail
+		c.unlink(last)
+		delete(c.m, last.key)
+	}
+}
+
+func (c *odCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+func (c *odCache) pushFront(n *odCacheNode) {
+	n.prev, n.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *odCache) unlink(n *odCacheNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *odCache) moveToFront(n *odCacheNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
 }
 
 // snapshot returns the pinned graph view for the current graph generation,
@@ -473,7 +947,7 @@ func (od *onDemand) refine(snap *odSnapshot, source VertexID, pr *push.ColdPushR
 	if len(targets) == 0 {
 		return 0
 	}
-	rng := rand.New(rand.NewSource(od.opts.Seed ^ int64(source)*0x5851F42D4C957F2D ^ int64(snap.gen)))
+	rng := rand.New(rand.NewSource(int64(odSeed(od.opts.Seed, source, snap.gen))))
 	alpha := od.svc.opts.Options.Alpha
 	adj := snap.adj()
 	per, extra := w/len(targets), w%len(targets)
@@ -498,11 +972,31 @@ func (od *onDemand) refine(snap *odSnapshot, source VertexID, pr *push.ColdPushR
 	return used
 }
 
+// odSeed derives the refinement rng stream for (seed, source, generation).
+// Each input is passed through splitmix64 before it is folded in, so
+// distinct (source, gen) pairs get distinct streams — a plain xor of
+// products lets pairs collide (e.g. any two pairs whose terms cancel).
+func odSeed(seed int64, source VertexID, gen uint64) uint64 {
+	x := splitmix64(uint64(seed) ^ splitmix64(uint64(source)))
+	return splitmix64(x ^ gen)
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator — a cheap
+// bijective mixer whose outputs are equidistributed over 64 bits.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
 // touch refreshes the last-use tick of an auto-promoted source so exact-path
-// reads keep it warm against eviction. Called by the Query* entry points on
-// tracked-path answers. Lock-free — the read path must not pay a mutex for
-// promotion bookkeeping, or a promoted source would serve slower than a
-// hand-tracked one (the parity the CI benchmark gate asserts).
+// reads keep it warm against eviction. Called from the shared tracked-read
+// lookup, so every read API — TopK, Estimate, their Info variants, and the
+// Query* entry points on tracked answers — counts as use. Lock-free — the
+// read path must not pay a mutex for promotion bookkeeping, or a promoted
+// source would serve slower than a hand-tracked one (the parity the CI
+// benchmark gate asserts).
 func (od *onDemand) touch(source VertexID) {
 	if od == nil || od.opts.PromoteAfter <= 0 {
 		return
@@ -541,10 +1035,14 @@ func (od *onDemand) note(source VertexID) {
 }
 
 // maybePromote promotes source into tracked state once its query count
-// reaches the threshold, evicting the coldest auto-promoted source first
-// when the auto set is at capacity. Promotion failures (an overloaded
-// pipeline) are swallowed — the query that triggered them already has its
-// answer, and the candidate's count is kept so a later query retries.
+// reaches the threshold, then evicts the coldest auto-promoted source when
+// the auto set ran over capacity. The order matters: the add happens FIRST,
+// so a failed promotion (overloaded pipeline) tears nothing down — the old
+// evict-then-add order could lose a healthy tracked source and gain nothing.
+// MaxAutoSources is policy, not a hard cap; the set transiently holds one
+// extra entry between the add and the eviction. Promotion failures are
+// swallowed — the query that triggered them already has its answer, and the
+// candidate's count is kept so a later query retries.
 func (od *onDemand) maybePromote(ctx context.Context, source VertexID) bool {
 	if od.opts.PromoteAfter <= 0 {
 		return false
@@ -556,51 +1054,56 @@ func (od *onDemand) maybePromote(ctx context.Context, source VertexID) bool {
 		od.mu.Unlock()
 		return false
 	}
-	victim := VertexID(-1)
-	if auto := *od.auto.Load(); len(auto) >= od.opts.MaxAutoSources {
-		cold := int64(-1)
-		for v, last := range auto {
-			if t := last.Load(); cold < 0 || t < cold {
-				cold, victim = t, v
-			}
-		}
-	}
 	od.mu.Unlock()
 
-	// The eviction and the addition go through the ordinary live
+	// The addition and the eviction go through the ordinary live
 	// source-management path, outside od.mu (the pipeline never takes it, so
 	// there is no lock-order hazard — just no reason to hold it while a cold
 	// start runs).
-	if victim >= 0 {
-		err := s.RemoveSourceCtx(ctx, victim)
-		if err != nil && !errors.Is(err, ErrUnknownSource) {
-			return false // overloaded or closed: retry on a later query
-		}
-		od.mu.Lock()
-		od.mutateAuto(func(m map[VertexID]*atomic.Int64) { delete(m, victim) })
-		od.mu.Unlock()
-		if err == nil {
-			od.evictions.Add(1)
-		}
-	}
 	if err := s.AddSourceCtx(ctx, source); err != nil {
 		// "already tracked" means someone else (a concurrent promotion or a
 		// manual AddSource) won the race; either way the source is tracked
 		// now and the candidate entry has served its purpose.
 		if _, tracked := (*s.table.Load())[source]; !tracked {
-			return false
+			return false // overloaded or closed: retry on a later query
 		}
 		od.mu.Lock()
 		delete(od.cand, source)
 		od.mu.Unlock()
 		return false
 	}
+	victim := VertexID(-1)
 	od.mu.Lock()
 	delete(od.cand, source)
 	e := new(atomic.Int64)
 	e.Store(od.tick.Add(1))
 	od.mutateAuto(func(m map[VertexID]*atomic.Int64) { m[source] = e })
+	if auto := *od.auto.Load(); len(auto) > od.opts.MaxAutoSources {
+		cold := int64(-1)
+		for v, last := range auto {
+			if v == source {
+				continue
+			}
+			if t := last.Load(); cold < 0 || t < cold {
+				cold, victim = t, v
+			}
+		}
+	}
 	od.mu.Unlock()
 	od.promotions.Add(1)
+	if victim >= 0 {
+		err := s.RemoveSourceCtx(ctx, victim)
+		if err == nil || errors.Is(err, ErrUnknownSource) {
+			od.mu.Lock()
+			od.mutateAuto(func(m map[VertexID]*atomic.Int64) { delete(m, victim) })
+			od.mu.Unlock()
+		}
+		// A failed removal (overloaded pipeline) leaves the registry
+		// transiently over capacity; the next promotion picks a victim
+		// again.
+		if err == nil {
+			od.evictions.Add(1)
+		}
+	}
 	return true
 }

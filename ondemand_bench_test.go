@@ -94,17 +94,20 @@ func TestOnDemandSnapshotTouchedProportional(t *testing.T) {
 }
 
 // odBenchState is the lazily built per-size fixture: one service that never
-// promotes (so path=ondemand stays on the push path across all b.N
-// iterations) and one that promotes after 3 queries (providing both the
-// tracked baseline and the promoted source).
+// promotes and never caches (so path=ondemand and path=coalesced pay a real
+// cold push on every miss across all b.N iterations), one with the result
+// cache enabled (path=cached measures the hit path), and one that promotes
+// after 3 queries (providing both the tracked baseline and the promoted
+// source).
 type odBenchState struct {
-	once     sync.Once
-	odOnly   *dynppr.Service
-	promo    *dynppr.Service
-	tracked  dynppr.VertexID
-	cold     dynppr.VertexID
-	promoted dynppr.VertexID
-	err      error
+	once      sync.Once
+	odOnly    *dynppr.Service
+	cachedSvc *dynppr.Service
+	promo     *dynppr.Service
+	tracked   dynppr.VertexID
+	cold      dynppr.VertexID
+	promoted  dynppr.VertexID
+	err       error
 }
 
 var odBench = map[int]*odBenchState{10_000: {}, 200_000: {}}
@@ -121,7 +124,7 @@ func (st *odBenchState) setup(vertices int) {
 	opts := dynppr.DefaultOptions()
 	opts.Engine = dynppr.EngineDeterministic
 	opts.Epsilon = 1e-4
-	build := func(promoteAfter int) (*dynppr.Service, dynppr.VertexID, error) {
+	build := func(promoteAfter, resultCache int) (*dynppr.Service, dynppr.VertexID, error) {
 		g := dynppr.GraphFromEdges(edges)
 		source := g.TopDegreeVertices(1)[0]
 		svc, err := dynppr.NewService(g, []dynppr.VertexID{source}, dynppr.ServiceOptions{
@@ -129,14 +132,20 @@ func (st *odBenchState) setup(vertices int) {
 			OnDemand: dynppr.OnDemandOptions{
 				Enabled: true, Epsilon: 1e-4, Seed: 3,
 				PromoteAfter: promoteAfter, MaxAutoSources: 4,
+				ResultCache: resultCache,
 			},
 		})
 		return svc, source, err
 	}
-	if st.odOnly, st.tracked, st.err = build(0); st.err != nil {
+	// The push-path fixtures disable the result cache: every iteration must
+	// pay (or coalesce onto) a real cold push, not a cache hit.
+	if st.odOnly, st.tracked, st.err = build(0, -1); st.err != nil {
 		return
 	}
-	if st.promo, _, st.err = build(3); st.err != nil {
+	if st.cachedSvc, _, st.err = build(0, 0); st.err != nil {
+		return
+	}
+	if st.promo, _, st.err = build(3, -1); st.err != nil {
 		return
 	}
 	// A mid-degree vertex keeps the cold query representative: neither the
@@ -187,6 +196,46 @@ func BenchmarkOnDemandQuery(b *testing.B) {
 					}
 				})
 			}
+			// path=cached measures the result-cache hit path: one priming
+			// query pays the push, every timed iteration must hit.
+			b.Run("path=cached", func(b *testing.B) {
+				if _, info, err := st.cachedSvc.QueryTopK(st.cold, 10); err != nil || !info.Approx {
+					b.Fatalf("priming query: approx=%t err=%v", info.Approx, err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					top, info, err := st.cachedSvc.QueryTopK(st.cold, 10)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !info.Cached || len(top) == 0 {
+						b.Fatalf("cached path missed: cached=%t results=%d", info.Cached, len(top))
+					}
+				}
+			})
+			// path=coalesced hammers one cold source from all procs with the
+			// cache disabled: concurrent identical queries share a single
+			// in-flight push, so the per-query cost amortizes the cold push
+			// across the waiters.
+			b.Run("path=coalesced", func(b *testing.B) {
+				b.ReportAllocs()
+				// Waiters block on the shared flight rather than burning CPU,
+				// so oversubscribing GOMAXPROCS still measures real sharing
+				// even on a single-core runner.
+				b.SetParallelism(4)
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						top, info, err := st.odOnly.QueryTopK(st.cold, 10)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if !info.Approx || len(top) == 0 {
+							b.Fatalf("coalesced path: approx=%t results=%d", info.Approx, len(top))
+						}
+					}
+				})
+			})
 		})
 	}
 }

@@ -1,0 +1,118 @@
+package dynppr
+
+// White-box promotion tests: they wedge the unexported write pipeline to
+// make AddSourceCtx fail deterministically, which cannot be arranged
+// through the public API without sleeps.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+func promoteTestService(t *testing.T) *Service {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	edges := make([]Edge, 0, 400)
+	for i := 0; i < 80; i++ { // ring keeps every vertex reachable
+		edges = append(edges, Edge{U: VertexID(i), V: VertexID((i + 1) % 80)})
+	}
+	for len(edges) < 400 {
+		u, v := VertexID(rng.Intn(80)), VertexID(rng.Intn(80))
+		if u != v {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+	}
+	so := DefaultServiceOptions()
+	so.QueueDepth = 1
+	so.OnDemand = OnDemandOptions{
+		Enabled: true, Epsilon: 1e-3, PromoteAfter: 1, MaxAutoSources: 1, Seed: 2,
+	}
+	svc, err := NewService(GraphFromEdges(edges), []VertexID{79}, so)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc
+}
+
+// TestMaybePromoteOverloadKeepsVictim pins the add-then-evict ordering bugfix:
+// a promotion that fails admission (overloaded pipeline) must tear nothing
+// down — previously the victim was evicted BEFORE the add, so a failed add
+// lost a healthy tracked source and gained nothing.
+func TestMaybePromoteOverloadKeepsVictim(t *testing.T) {
+	svc := promoteTestService(t)
+	od := svc.od
+	tracked := func(v VertexID) bool {
+		_, ok := (*svc.table.Load())[v]
+		return ok
+	}
+
+	const a, b = VertexID(11), VertexID(22)
+	od.note(a)
+	if !od.maybePromote(context.Background(), a) {
+		t.Fatal("promoting a failed on an idle service")
+	}
+	if !tracked(a) {
+		t.Fatal("a not tracked after promotion")
+	}
+
+	// b has reached the promotion threshold...
+	od.note(b)
+
+	// ...but the pipeline is wedged: one fn parked inside the pipeline
+	// goroutine, one more filling the QueueDepth=1 buffer.
+	gate := make(chan struct{})
+	if err := svc.submit(func() { <-gate }); err != nil {
+		t.Fatalf("submit gate: %v", err)
+	}
+	if err := svc.submit(func() {}); err != nil {
+		t.Fatalf("submit filler: %v", err)
+	}
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if od.maybePromote(expired, b) {
+		t.Fatal("promotion reported success against a wedged pipeline")
+	}
+	if !tracked(a) {
+		t.Fatal("failed promotion evicted the healthy tracked source a")
+	}
+	if tracked(b) {
+		t.Fatal("b tracked despite failed promotion")
+	}
+	if got := od.evictions.Load(); got != 0 {
+		t.Fatalf("evictions = %d after failed promotion, want 0", got)
+	}
+	od.mu.Lock()
+	cand := od.cand[b]
+	od.mu.Unlock()
+	if cand == nil || cand.count < od.opts.PromoteAfter {
+		t.Fatalf("candidate state for b lost (%+v); a later query could not retry the promotion", cand)
+	}
+
+	// Unwedge and drain, then the retry succeeds and only now is the
+	// coldest auto source evicted.
+	close(gate)
+	drained := make(chan struct{})
+	if err := svc.submit(func() { close(drained) }); err != nil {
+		t.Fatalf("submit drain: %v", err)
+	}
+	<-drained
+
+	if !od.maybePromote(context.Background(), b) {
+		t.Fatal("promotion retry failed on a drained pipeline")
+	}
+	if !tracked(b) {
+		t.Fatal("b not tracked after successful retry")
+	}
+	if tracked(a) {
+		t.Fatal("a still tracked; capacity-1 auto set should have evicted it")
+	}
+	if got := od.evictions.Load(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if got := od.promotions.Load(); got != 2 {
+		t.Fatalf("promotions = %d, want 2", got)
+	}
+}

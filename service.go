@@ -468,6 +468,12 @@ func (s *Service) Close() error {
 	// A background compaction may still be merging; its install submit fails
 	// against the closed pipeline and the goroutine exits.
 	s.compactWG.Wait()
+	// Shut the on-demand worker pool down: queries blocked in pool admission
+	// fail with ErrServiceClosed, in-flight cold pushes (pure reads of
+	// pinned snapshots) run to completion for their waiters.
+	if s.od != nil {
+		s.od.close()
+	}
 	// The pipeline has exited, so nothing appends concurrently.
 	if p := s.persist.Load(); p != nil {
 		return p.close()
@@ -811,6 +817,10 @@ func (s *Service) doRemoveSource(src *serviceSource) error {
 }
 
 // lookup resolves a source through the copy-on-write table (lock-free).
+// Every successful resolution refreshes the source's promotion recency —
+// lookup is the one path all read APIs share, so an auto-promoted source
+// read heavily through TopK/Estimate (not just Query*) stays warm against
+// eviction. touch is atomic-only, preserving the lock-free read path.
 func (s *Service) lookup(source VertexID) (*serviceSource, error) {
 	table := s.table.Load()
 	if table == nil {
@@ -820,6 +830,7 @@ func (s *Service) lookup(source VertexID) (*serviceSource, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownSource, source)
 	}
+	s.od.touch(source)
 	return src, nil
 }
 
