@@ -63,6 +63,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		dataDir  = fs.String("data-dir", "", "data directory for the WAL and checkpoints (empty = in-memory only)")
 		fsync    = fs.String("fsync", "always", "WAL fsync policy: always (durable) or none (OS-buffered)")
 		ckptEvr  = fs.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = only on demand and at shutdown)")
+		probeBO  = fs.Duration("probe-backoff", 0, "delay before the first recovery probe after persistence degrades; doubles per failure up to 30s (0 = 250ms)")
+		probeMax = fs.Int("probe-max", 0, "failed recovery probes before persistence fails permanently (0 = 64, negative = probe forever)")
 
 		queue      = fs.Int("queue", 0, "write pipeline queue depth; writes shed with 429 when it stays full (0 = default 64)")
 		admitTO    = fs.Duration("admission-timeout", 0, "max wait for a pipeline slot before a write sheds with 429 (0 = half the write timeout)")
@@ -105,7 +107,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if so.Options.Engine, err = dynppr.ParseEngineKind(*engine); err != nil {
 		return err
 	}
-	po := dynppr.PersistOptions{Dir: *dataDir}
+	po := dynppr.PersistOptions{Dir: *dataDir, ProbeBackoff: *probeBO, ProbeMax: *probeMax}
 	if po.Sync, err = dynppr.ParseSyncPolicy(*fsync); err != nil {
 		return err
 	}

@@ -43,6 +43,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -96,22 +97,29 @@ type clientResult struct {
 	cached     int64
 	errors     []error
 	violations []string
+	// Degraded-window accounting: how many 503-degraded rejections were
+	// retried and how long the retries backed off in total, so a run that
+	// crossed a server fault window reports the episode instead of hiding
+	// it in the latency tail (retry backoff is excluded from latencies).
+	degradedRetries int64
+	degradedWait    time.Duration
 }
 
 type config struct {
-	clients    int
-	requests   int
-	duration   time.Duration
-	weights    [numClasses]int
-	k          int
-	batch      int
-	reads      int
-	seed       int64
-	arrival    float64
-	maxP99     time.Duration
-	expectShed bool
-	zipf       float64
-	repeat     int
+	clients       int
+	requests      int
+	duration      time.Duration
+	weights       [numClasses]int
+	k             int
+	batch         int
+	reads         int
+	seed          int64
+	arrival       float64
+	maxP99        time.Duration
+	expectShed    bool
+	zipf          float64
+	repeat        int
+	retryDegraded bool
 }
 
 // parseFlags resolves the command line into the load configuration and the
@@ -137,24 +145,26 @@ func parseFlags(args []string) (config, string, error) {
 		expectShed = fs.Bool("expect-shed", false, "tolerate 429 responses as shed load and fail unless at least one occurred")
 		zipf       = fs.Float64("zipf", 0, "long-tail mode: draw read sources Zipf(s)-distributed over all vertices (0 = tracked sources only; requires s > 1)")
 		repeat     = fs.Int("repeat", 0, "closed-loop: re-issue each single top-k/estimate read this many extra times back-to-back — with -zipf this exercises the server's on-demand result cache")
+		retryDeg   = fs.Bool("retry-degraded", false, "retry requests shed 503 by a degraded server after its Retry-After (capped), so SLO gates can run through a fault window")
 	)
 	if err := fs.Parse(args); err != nil {
 		return config{}, "", err
 	}
 	cfg := config{
-		clients:    *clients,
-		requests:   *requests,
-		duration:   *duration,
-		weights:    [numClasses]int{opTopK: *topk, opEstimate: *estimate, opBatchRead: *batchr, opWrite: *write},
-		k:          *k,
-		batch:      *batch,
-		reads:      *reads,
-		seed:       *seed,
-		arrival:    *arrival,
-		maxP99:     *maxP99,
-		expectShed: *expectShed,
-		zipf:       *zipf,
-		repeat:     *repeat,
+		clients:       *clients,
+		requests:      *requests,
+		duration:      *duration,
+		weights:       [numClasses]int{opTopK: *topk, opEstimate: *estimate, opBatchRead: *batchr, opWrite: *write},
+		k:             *k,
+		batch:         *batch,
+		reads:         *reads,
+		seed:          *seed,
+		arrival:       *arrival,
+		maxP99:        *maxP99,
+		expectShed:    *expectShed,
+		zipf:          *zipf,
+		repeat:        *repeat,
+		retryDegraded: *retryDeg,
 	}
 	if cfg.clients < 1 {
 		return config{}, "", fmt.Errorf("-clients must be at least 1")
@@ -427,6 +437,42 @@ func execOp(client *httpapi.Client, cfg config, o op) (ro readOutcome, err error
 	return ro, err
 }
 
+// Degraded-retry policy: a 503 carrying Retry-After means the server's
+// persistence is degraded, the write had no effect, and its recovery probe
+// is running. The wait is capped so a pessimistic server cannot stall the
+// run, and the attempt count is capped so a server that never heals fails
+// the run instead of hanging it.
+const (
+	maxDegradedWait    = 2 * time.Second
+	maxDegradedRetries = 120
+)
+
+// execOpRetry is execOp plus the -retry-degraded loop. The returned latency
+// covers only the final attempt — retry backoff is accounted separately
+// (retries, waited) so a server fault window shows up as degraded-window
+// accounting in the report instead of polluting the -max-p99 gate.
+func execOpRetry(client *httpapi.Client, cfg config, o op) (ro readOutcome, lat time.Duration, retries int64, waited time.Duration, err error) {
+	for {
+		start := time.Now()
+		ro, err = execOp(client, cfg, o)
+		lat = time.Since(start)
+		if err == nil || !cfg.retryDegraded || !httpapi.IsDegraded(err) || retries >= maxDegradedRetries {
+			return
+		}
+		wait := time.Second
+		var ae *httpapi.APIError
+		if errors.As(err, &ae) && ae.RetryAfter > 0 {
+			wait = ae.RetryAfter
+		}
+		if wait > maxDegradedWait {
+			wait = maxDegradedWait
+		}
+		time.Sleep(wait)
+		retries++
+		waited += wait
+	}
+}
+
 // checkConverged validates the stateless half of the serving contract.
 func checkConverged(m httpapi.SnapshotMeta) (string, bool) {
 	if !m.Converged {
@@ -458,8 +504,9 @@ func runClient(id int, cfg config, addr string, hc *http.Client,
 			tries += cfg.repeat
 		}
 		for try := 0; try < tries; try++ {
-			start := time.Now()
-			ro, err := execOp(client, cfg, o)
+			ro, lat, dRetries, dWait, err := execOpRetry(client, cfg, o)
+			res.degradedRetries += dRetries
+			res.degradedWait += dWait
 			if err != nil {
 				if cfg.tolerateShed() && httpapi.IsOverloaded(err) {
 					res.shed[o.class]++
@@ -468,7 +515,7 @@ func runClient(id int, cfg config, addr string, hc *http.Client,
 				res.errors = append(res.errors, fmt.Errorf("client %d %s: %w", id, o.class, err))
 				break
 			}
-			res.lat[o.class].Observe(time.Since(start))
+			res.lat[o.class].Observe(lat)
 			res.approx += ro.approx
 			res.exact += ro.exact
 			res.cached += ro.cached
@@ -536,11 +583,11 @@ func runOpenLoop(cfg config, addr string, hc *http.Client,
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			reqStart := time.Now()
-			ro, err := execOp(client, cfg, o)
-			elapsed := time.Since(reqStart)
+			ro, lat, dRetries, dWait, err := execOpRetry(client, cfg, o)
 			mu.Lock()
 			defer mu.Unlock()
+			res.degradedRetries += dRetries
+			res.degradedWait += dWait
 			if err != nil {
 				if httpapi.IsOverloaded(err) {
 					res.shed[o.class]++
@@ -549,7 +596,7 @@ func runOpenLoop(cfg config, addr string, hc *http.Client,
 				}
 				return
 			}
-			res.lat[o.class].Observe(elapsed)
+			res.lat[o.class].Observe(lat)
 			res.approx += ro.approx
 			res.exact += ro.exact
 			res.cached += ro.cached
@@ -571,6 +618,8 @@ func report(out io.Writer, cfg config, results []*clientResult, drops int64, ela
 	var approx, exact, cached int64
 	var errs []error
 	var violations []string
+	var degradedRetries int64
+	var degradedWait time.Duration
 	for _, res := range results {
 		for c := opClass(0); c < numClasses; c++ {
 			merged[c].AddAll(&res.lat[c])
@@ -581,6 +630,8 @@ func report(out io.Writer, cfg config, results []*clientResult, drops int64, ela
 		cached += res.cached
 		errs = append(errs, res.errors...)
 		violations = append(violations, res.violations...)
+		degradedRetries += res.degradedRetries
+		degradedWait += res.degradedWait
 	}
 
 	var total, totalShed int64
@@ -612,6 +663,10 @@ func report(out io.Writer, cfg config, results []*clientResult, drops int64, ela
 	}
 	if drops > 0 {
 		fmt.Fprintf(out, "dropped at client (in-flight cap %d): %d\n", maxInFlight, drops)
+	}
+	if cfg.retryDegraded || degradedRetries > 0 {
+		fmt.Fprintf(out, "degraded (503) retries: %d (total backoff %v across all clients)\n",
+			degradedRetries, degradedWait.Round(time.Millisecond))
 	}
 	if cfg.zipf > 0 || approx > 0 {
 		fmt.Fprintf(out, "read answers: %d exact, %d approximate (on-demand), %d served from the result cache\n",

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"dynppr"
+	"dynppr/internal/faultfs"
 	"dynppr/internal/httpapi"
 )
 
@@ -295,6 +297,69 @@ func TestLoadgenFlagErrors(t *testing.T) {
 	} {
 		if err := run(args, &out); err == nil {
 			t.Fatalf("args %v must fail", args)
+		}
+	}
+}
+
+// startDegradedServer brings up a persistent server whose first WAL write
+// after boot is scripted to fail, so the run starts inside a degraded
+// window that the fast recovery probe heals mid-run.
+func startDegradedServer(t *testing.T) string {
+	t.Helper()
+	edges, err := dynppr.GenerateEdges(dynppr.SyntheticConfig{
+		Model: dynppr.ModelRMAT, Vertices: 200, Edges: 1500, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dynppr.GraphFromEdges(edges)
+	sources := g.TopDegreeVertices(3)
+	so := dynppr.DefaultServiceOptions()
+	so.Options.Engine = dynppr.EngineDeterministic
+	so.Options.Epsilon = 1e-4
+	so.PoolWorkers = 2
+	in := faultfs.NewInjector(faultfs.OS)
+	svc, err := dynppr.NewPersistentService(g, sources, so, dynppr.PersistOptions{
+		Dir:          filepath.Join(t.TempDir(), "data"),
+		Sync:         dynppr.SyncAlways,
+		FS:           in,
+		ProbeBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	in.Add(faultfs.Rule{Op: faultfs.OpWrite, Path: "wal"})
+	srv := httpapi.NewServer(svc, httpapi.ServerOptions{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Wait() })
+	t.Cleanup(func() { srv.Shutdown(t.Context()) })
+	return srv.URL()
+}
+
+// TestLoadgenRetryDegraded runs a write-only mix into a server that degrades
+// on the first write: without -retry-degraded those 503s would count as
+// errors, with it every shed write is re-offered after the server's
+// Retry-After and the run completes clean with the window accounted.
+func TestLoadgenRetryDegraded(t *testing.T) {
+	base := startDegradedServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", base, "-clients", "4", "-requests", "5", "-batch", "5",
+		"-topk", "0", "-estimate", "0", "-batchread", "0", "-write", "100",
+		"-retry-degraded", "-seed", "9",
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen failed through the degraded window: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"non-2xx or transport errors: 0",
+		"degraded (503) retries:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
 		}
 	}
 }

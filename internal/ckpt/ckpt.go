@@ -64,8 +64,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
-	"os"
 
+	"dynppr/internal/faultfs"
 	"dynppr/internal/fsatomic"
 	"dynppr/internal/graph"
 )
@@ -289,21 +289,32 @@ func Decode(data []byte) (*Data, error) {
 	return d, nil
 }
 
-// WriteFile atomically replaces path with the serialized checkpoint (see
-// fsatomic.WriteFile): a crash at any point leaves either the old complete
-// checkpoint or the new one.
+// WriteFile is WriteFileFS on the real filesystem.
 func WriteFile(path string, d *Data) error {
+	return WriteFileFS(faultfs.OS, path, d)
+}
+
+// WriteFileFS atomically replaces path with the serialized checkpoint (see
+// fsatomic.WriteFileFS): a crash or I/O error at any point leaves either the
+// old complete checkpoint or the new one, and the temp file is verified by
+// read-back before the rename and removed on every failure path.
+func WriteFileFS(fs faultfs.FS, path string, d *Data) error {
 	buf, err := Encode(d)
 	if err != nil {
 		return err
 	}
-	return fsatomic.WriteFile(path, buf)
+	return fsatomic.WriteFileFS(fs, path, buf)
 }
 
-// LoadFile reads and decodes the checkpoint at path. A missing file returns
-// os.ErrNotExist.
+// LoadFile is LoadFileFS on the real filesystem.
 func LoadFile(path string) (*Data, error) {
-	data, err := os.ReadFile(path)
+	return LoadFileFS(faultfs.OS, path)
+}
+
+// LoadFileFS reads and decodes the checkpoint at path. A missing file
+// returns os.ErrNotExist.
+func LoadFileFS(fs faultfs.FS, path string) (*Data, error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,69 @@
+// Package faultfs is the filesystem seam under the durability stack. The
+// wal, ckpt and fsatomic packages perform every write-path file operation —
+// open, write, fsync, rename, remove, truncate — through the FS interface,
+// which has exactly two implementations: OS, a zero-overhead passthrough to
+// the real filesystem used in production, and Injector, a deterministic
+// scripted fault injector used by tests to place a failure at any single
+// write site (ENOSPC after N bytes, fsync error, torn write, rename failure,
+// silent short write) and observe how the layers above degrade and heal.
+//
+// The seam deliberately covers only the write path: reads (ReadFile,
+// ReadDir, read-only opens) always pass through un-faulted, because the
+// robustness machinery under test is about surviving failed writes, and
+// read-side damage is already exercised by the byte-corruption fuzzers.
+package faultfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the durability layer writes through.
+type File interface {
+	io.Writer
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Close closes the file.
+	Close() error
+	// Truncate changes the file's size.
+	Truncate(size int64) error
+	// Seek sets the offset for the next Write.
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// FS is the write-path filesystem interface. All methods follow the os
+// package's semantics and error conventions (*os.PathError / *os.LinkError
+// wrapping syscall errnos).
+type FS interface {
+	// OpenFile opens name with the given flags, creating it if requested.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// ReadFile reads the whole file (read path: never faulted).
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory (read path: never faulted).
+	ReadDir(name string) ([]os.DirEntry, error)
+}
+
+// OS is the production filesystem: a direct passthrough to the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }

@@ -1,0 +1,209 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func writeAll(t *testing.T, fs FS, path string, data []byte) error {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func TestPassthroughNoRules(t *testing.T) {
+	in := NewInjector(OS)
+	path := filepath.Join(t.TempDir(), "f")
+	if err := writeAll(t, in, path, []byte("hello")); err != nil {
+		t.Fatalf("write through empty injector: %v", err)
+	}
+	got, err := in.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+	if in.Ops() == 0 {
+		t.Fatal("Ops() stayed zero over a write-intent open and a write")
+	}
+}
+
+func TestRuleOpAndPathMatching(t *testing.T) {
+	in := NewInjector(OS)
+	dir := t.TempDir()
+	in.Add(Rule{Op: OpWrite, Path: "target"})
+
+	if err := writeAll(t, in, filepath.Join(dir, "other"), []byte("x")); err != nil {
+		t.Fatalf("write to non-matching path faulted: %v", err)
+	}
+	err := writeAll(t, in, filepath.Join(dir, "target"), []byte("x"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("matching write: got %v, want ENOSPC", err)
+	}
+	// Times defaults to once: the same path writes fine afterwards.
+	if err := writeAll(t, in, filepath.Join(dir, "target"), []byte("x")); err != nil {
+		t.Fatalf("write after the rule was spent: %v", err)
+	}
+}
+
+func TestNthAndTimes(t *testing.T) {
+	in := NewInjector(OS)
+	path := filepath.Join(t.TempDir(), "f")
+	in.Add(Rule{Op: OpWrite, Nth: 2, Times: 2})
+
+	f, err := in.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i, wantErr := range []bool{false, true, true, false} {
+		_, err := f.Write([]byte("x"))
+		if gotErr := err != nil; gotErr != wantErr {
+			t.Fatalf("write %d: err=%v, want error=%v", i+1, err, wantErr)
+		}
+	}
+}
+
+func TestDefaultErrors(t *testing.T) {
+	in := NewInjector(OS)
+	dir := t.TempDir()
+
+	in.Add(Rule{Op: OpOpen})
+	_, err := in.OpenFile(filepath.Join(dir, "f"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("open fault: got %v, want ENOSPC", err)
+	}
+	var pe *os.PathError
+	if !errors.As(err, &pe) {
+		t.Fatalf("open fault is not an *os.PathError: %v", err)
+	}
+
+	in.Add(Rule{Op: OpRename})
+	if err := in.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("rename fault: got %v, want EIO", err)
+	}
+
+	custom := errors.New("boom")
+	in.Add(Rule{Op: OpRemove, Err: custom})
+	if err := in.Remove(filepath.Join(dir, "c")); !errors.Is(err, custom) {
+		t.Fatalf("remove fault: got %v, want the override error", err)
+	}
+}
+
+func TestPermanentErrorOverride(t *testing.T) {
+	in := NewInjector(OS)
+	in.Add(Rule{Op: OpWrite, Err: syscall.EROFS})
+	err := writeAll(t, in, filepath.Join(t.TempDir(), "f"), []byte("x"))
+	if !errors.Is(err, syscall.EROFS) {
+		t.Fatalf("got %v, want EROFS", err)
+	}
+}
+
+func TestModePartial(t *testing.T) {
+	in := NewInjector(OS)
+	path := filepath.Join(t.TempDir(), "f")
+	in.Add(Rule{Op: OpWrite, Mode: ModePartial, Partial: 3})
+
+	err := writeAll(t, in, path, []byte("hello world"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("partial write: got %v, want ENOSPC", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hel" {
+		t.Fatalf("file holds %q, want the 3-byte torn prefix", got)
+	}
+}
+
+func TestModeSilentShort(t *testing.T) {
+	in := NewInjector(OS)
+	path := filepath.Join(t.TempDir(), "f")
+	in.Add(Rule{Op: OpWrite, Mode: ModeSilentShort, Partial: 3})
+
+	if err := writeAll(t, in, path, []byte("hello world")); err != nil {
+		t.Fatalf("silent short write must report success, got %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hel" {
+		t.Fatalf("file holds %q, want the lying 3-byte prefix", got)
+	}
+}
+
+func TestReadPathNeverFaulted(t *testing.T) {
+	in := NewInjector(OS)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in.Add(Rule{Op: OpAny, Times: -1})
+
+	if _, err := in.ReadFile(path); err != nil {
+		t.Fatalf("ReadFile faulted: %v", err)
+	}
+	if _, err := in.ReadDir(dir); err != nil {
+		t.Fatalf("ReadDir faulted: %v", err)
+	}
+	// A read-only open is not fault-eligible either...
+	f, err := in.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatalf("read-only open faulted: %v", err)
+	}
+	defer f.Close()
+	// ...but its Sync still routes through the injector, so directory
+	// fsyncs stay scriptable.
+	if err := f.Sync(); err == nil {
+		t.Fatal("Sync on an injected read-only handle did not fault under an OpAny rule")
+	}
+}
+
+func TestDisarmAndClear(t *testing.T) {
+	in := NewInjector(OS)
+	path := filepath.Join(t.TempDir(), "f")
+	r := in.Add(Rule{Op: OpWrite, Times: -1})
+	in.Disarm(r)
+	if err := writeAll(t, in, path, []byte("x")); err != nil {
+		t.Fatalf("write after Disarm: %v", err)
+	}
+
+	in.Add(Rule{Op: OpWrite, Times: -1})
+	in.Add(Rule{Op: OpSync, Times: -1})
+	in.Clear()
+	if err := writeAll(t, in, path, []byte("y")); err != nil {
+		t.Fatalf("write after Clear: %v", err)
+	}
+}
+
+func TestOpsCounterDeterministic(t *testing.T) {
+	run := func() int64 {
+		in := NewInjector(OS)
+		path := filepath.Join(t.TempDir(), "f")
+		f, err := in.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("a"))
+		f.Sync()
+		f.Close()
+		in.Rename(path, path+".2")
+		in.Remove(path + ".2")
+		return in.Ops()
+	}
+	a, b := run(), run()
+	if a != b || a == 0 {
+		t.Fatalf("op counts differ across identical runs: %d vs %d", a, b)
+	}
+}

@@ -196,11 +196,17 @@ type SourcesResponse struct {
 }
 
 // HealthResponse is the body of a 200 GET /healthz. Once the service has
-// shut down, /healthz instead answers 503 with the usual ErrorResponse
-// envelope.
+// shut down — or persistence has failed permanently — /healthz instead
+// answers 503 with the usual ErrorResponse envelope, so load balancers
+// drain the instance.
 type HealthResponse struct {
 	// Status is "ok".
 	Status string `json:"status"`
+	// Persistence is the durability state machine's state ("healthy",
+	// "degraded" or "failed"); empty on a service without a data
+	// directory. A degraded service still answers 200: reads are correct
+	// and the state self-heals.
+	Persistence string `json:"persistence,omitempty"`
 }
 
 // CheckpointResponse answers POST /checkpoint: the WAL sequence number the
@@ -213,12 +219,23 @@ type CheckpointResponse struct {
 type PersistenceStats struct {
 	Dir               string `json:"dir"`
 	Sync              string `json:"sync"`
+	State             string `json:"state"`
 	NextLSN           uint64 `json:"next_lsn"`
 	LastCheckpointLSN uint64 `json:"last_checkpoint_lsn"`
 	Checkpoints       int64  `json:"checkpoints"`
-	// Failed is non-empty once persistence has sticky-failed: the service
-	// still serves reads but rejects every mutation until restarted.
+	// Failed carries the classified persistence error while State is
+	// "degraded" (mutations shed 503 until a recovery probe heals the
+	// stack) or "failed" (mutations rejected until restart).
 	Failed string `json:"failed,omitempty"`
+	// ProbeAttempts/ProbeSuccesses count recovery heal attempts and the
+	// ones that returned the service to healthy.
+	ProbeAttempts  int64 `json:"probe_attempts,omitempty"`
+	ProbeSuccesses int64 `json:"probe_successes,omitempty"`
+	// DegradedSeconds is the cumulative time spent degraded, the open
+	// window included.
+	DegradedSeconds float64 `json:"degraded_seconds,omitempty"`
+	// NextProbeMillis is the time until the next scheduled recovery probe.
+	NextProbeMillis int64 `json:"next_probe_millis,omitempty"`
 }
 
 // OnDemandStats is the wire form of dynppr.OnDemandStats.
@@ -298,10 +315,15 @@ func serviceStats(st dynppr.ServiceStats) ServiceStats {
 		out.Persistence = &PersistenceStats{
 			Dir:               p.Dir,
 			Sync:              p.Sync,
+			State:             p.State,
 			NextLSN:           p.NextLSN,
 			LastCheckpointLSN: p.LastCheckpointLSN,
 			Checkpoints:       p.Checkpoints,
 			Failed:            p.Failed,
+			ProbeAttempts:     p.ProbeAttempts,
+			ProbeSuccesses:    p.ProbeSuccesses,
+			DegradedSeconds:   p.DegradedSeconds,
+			NextProbeMillis:   p.NextProbe.Milliseconds(),
 		}
 	}
 	if od := st.OnDemand; od != nil {

@@ -19,7 +19,8 @@ type APIError struct {
 	StatusCode int
 	Message    string
 	// RetryAfter is the server's suggested backoff, decoded from the
-	// Retry-After header of a 429; zero when the server sent none.
+	// Retry-After header of a 429 (overload, rate limit) or a 503
+	// (degraded persistence); zero when the server sent none.
 	RetryAfter time.Duration
 }
 
@@ -34,6 +35,18 @@ func (e *APIError) Error() string {
 func IsOverloaded(err error) bool {
 	var ae *APIError
 	return errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests
+}
+
+// IsDegraded reports whether the error is a 503 carrying a Retry-After —
+// the server's persistence is degraded, the write had no effect, and a
+// retry after the suggested backoff will succeed once the recovery probe
+// has healed the storage stack. A 503 without Retry-After (service closed,
+// persistence failed permanently) is not retryable and returns false.
+func IsDegraded(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) &&
+		ae.StatusCode == http.StatusServiceUnavailable &&
+		ae.RetryAfter > 0
 }
 
 // Client talks to a dppr-httpd server. It is safe for concurrent use: the

@@ -175,6 +175,13 @@ func errorStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, dynppr.ErrServiceClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, dynppr.ErrPersistenceDegraded),
+		errors.Is(err, dynppr.ErrPersistenceFailed):
+		// Storage trouble, not client error: 503 tells load balancers and
+		// retrying clients the service (not the request) is the problem.
+		// Degraded rejections additionally carry a Retry-After derived from
+		// the next recovery probe (see retryAfter).
+		return http.StatusServiceUnavailable
 	case errors.Is(err, dynppr.ErrNoPersistence):
 		return http.StatusConflict
 	default:
@@ -182,14 +189,25 @@ func errorStatus(err error) int {
 	}
 }
 
-// retryAfter suggests how long the client of a 429 should back off. A rate
-// limiter rejection carries the exact token-refill delay; an overload
-// rejection estimates the queue's drain time from its depth and the recent
-// pipeline latency.
+// retryAfter suggests how long a shed client should back off. A rate
+// limiter rejection carries the exact token-refill delay; a degraded-mode
+// write rejection backs off until just past the next recovery probe; an
+// overload rejection estimates the queue's drain time from its depth and
+// the recent pipeline latency.
 func (h *Handler) retryAfter(err error) time.Duration {
 	var ae *apiError
 	if errors.As(err, &ae) && ae.retryAfter > 0 {
 		return ae.retryAfter
+	}
+	if errors.Is(err, dynppr.ErrPersistenceDegraded) {
+		d := time.Second
+		if ph, ok := h.svc.PersistenceHealth(); ok && ph.NextProbe > d {
+			d = ph.NextProbe
+		}
+		if d > 60*time.Second {
+			d = 60 * time.Second
+		}
+		return d
 	}
 	q := h.svc.Queue()
 	lat := q.LastBatchLatency
@@ -245,7 +263,7 @@ func (h *Handler) route(path, method string, limited bool, fn func(*http.Request
 			}
 		}
 		if err != nil {
-			if status == http.StatusTooManyRequests {
+			if status == http.StatusTooManyRequests || errors.Is(err, dynppr.ErrPersistenceDegraded) {
 				w.Header().Set("Retry-After", retryAfterHeader(h.retryAfter(err)))
 			}
 			body = ErrorResponse{Error: err.Error()}
@@ -334,11 +352,26 @@ func (h *Handler) parseBudget(r *http.Request) (time.Duration, error) {
 	return time.Duration(ms) * time.Millisecond, nil
 }
 
+// handleHealthz is the load-balancer drain signal: 503 once the service is
+// closed or persistence has failed permanently. A *degraded* service stays
+// 200 — reads are still served correctly and the state heals itself — but
+// the response surfaces the persistence state so operators and probes can
+// see the episode.
 func (h *Handler) handleHealthz(*http.Request) (any, error) {
 	if h.svc.Closed() {
 		return nil, &apiError{status: http.StatusServiceUnavailable, msg: "service is closed"}
 	}
-	return HealthResponse{Status: "ok"}, nil
+	resp := HealthResponse{Status: "ok"}
+	if ph, ok := h.svc.PersistenceHealth(); ok {
+		resp.Persistence = ph.State.String()
+		if ph.State == dynppr.PersistFailed {
+			return nil, &apiError{
+				status: http.StatusServiceUnavailable,
+				msg:    "persistence failed permanently: " + ph.Err,
+			}
+		}
+	}
+	return resp, nil
 }
 
 func (h *Handler) handleStats(*http.Request) (any, error) {

@@ -146,8 +146,15 @@ func (h *Handler) gather() []promexp.Family {
 	}
 
 	if p := st.Persistence; p != nil {
+		state := 0.0
+		switch p.State {
+		case "degraded":
+			state = 1
+		case "failed":
+			state = 2
+		}
 		failed := 0.0
-		if p.Failed != "" {
+		if p.State == "failed" {
 			failed = 1
 		}
 		fams = append(fams,
@@ -157,8 +164,16 @@ func (h *Handler) gather() []promexp.Family {
 				"WAL sequence number covered by the most recent checkpoint.", float64(p.LastCheckpointLSN)),
 			counter("dppr_checkpoints_total",
 				"Completed checkpoints over the service's lifetime.", float64(p.Checkpoints)),
+			gauge("dppr_persistence_state",
+				"Durability state machine: 0 healthy, 1 degraded (writes shed, recovery probes running), 2 failed.", state),
 			gauge("dppr_persistence_failed",
-				"1 once persistence has sticky-failed (mutations rejected until restart), else 0.", failed),
+				"1 once persistence has failed permanently (mutations rejected until restart), else 0.", failed),
+			counter("dppr_persistence_probe_attempts_total",
+				"Recovery heal attempts (background probes and manual checkpoints while degraded).", float64(p.ProbeAttempts)),
+			counter("dppr_persistence_probe_successes_total",
+				"Recovery heals that returned persistence to healthy.", float64(p.ProbeSuccesses)),
+			counter("dppr_persistence_degraded_seconds_total",
+				"Cumulative time spent in the degraded state, the open window included.", p.DegradedSeconds),
 		)
 	}
 

@@ -1,0 +1,256 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"dynppr/internal/faultfs"
+	"dynppr/internal/graph"
+	"dynppr/internal/stream"
+)
+
+func batchOf(n int) stream.Batch {
+	b := make(stream.Batch, n)
+	for i := range b {
+		b[i] = stream.Update{U: graph.VertexID(i), V: graph.VertexID(i + 1), Op: stream.Insert}
+	}
+	return b
+}
+
+func noTmp(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// reopenRecords closes nothing; it re-reads the log file with the tolerant
+// scanner and returns the LSNs that would be replayed after a crash.
+func reopenLSNs(t *testing.T, path string) []uint64 {
+	t.Helper()
+	_, recs, _, err := ScanFile(path)
+	if err != nil {
+		t.Fatalf("scan after fault: %v", err)
+	}
+	lsns := make([]uint64, len(recs))
+	for i, r := range recs {
+		lsns[i] = r.LSN
+	}
+	return lsns
+}
+
+// TestAppendENOSPCRollsBack scripts an out-of-space write on the third
+// append and checks the failed record leaves no bytes behind: recovery sees
+// exactly the acknowledged mutations.
+func TestAppendENOSPCRollsBack(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		rule faultfs.Rule
+	}{
+		{"full-fail", faultfs.Rule{Op: faultfs.OpWrite, Nth: 3}},
+		{"torn-partial", faultfs.Rule{Op: faultfs.OpWrite, Nth: 3, Mode: faultfs.ModePartial, Partial: 5}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "wal")
+			in := faultfs.NewInjector(faultfs.OS)
+			l, _, err := OpenOrCreate(path, 0, Options{FS: in})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+
+			// Appends 1 and 2 (write ops 2 and 3 after the header write)
+			// would hit Nth wrong; count from rule add time instead.
+			in.Add(mode.rule)
+			var acked []uint64
+			for i := 0; i < 5; i++ {
+				lsn, err := l.AppendBatch(batchOf(i + 1))
+				if err != nil {
+					if !errors.Is(err, syscall.ENOSPC) {
+						t.Fatalf("append %d: got %v, want ENOSPC", i, err)
+					}
+					continue
+				}
+				acked = append(acked, lsn)
+			}
+			if len(acked) != 4 {
+				t.Fatalf("acked %d appends, want 4 (one faulted)", len(acked))
+			}
+			got := reopenLSNs(t, path)
+			if len(got) != len(acked) {
+				t.Fatalf("recovery sees %d records %v, acked %v", len(got), got, acked)
+			}
+			for i := range got {
+				if got[i] != acked[i] {
+					t.Fatalf("recovery LSNs %v != acked %v", got, acked)
+				}
+			}
+			if err := l.SelfCheck(); err != nil {
+				t.Fatalf("self-check after rollback: %v", err)
+			}
+		})
+	}
+}
+
+// TestTornAppendWithFailedRollbackTruncatedOnReopen is the crash shape the
+// tolerant scanner exists for: the append tears AND the rollback truncate
+// fails, leaving garbage bytes at the tail. Reopening must truncate exactly
+// the torn suffix and keep every acknowledged record.
+func TestTornAppendWithFailedRollbackTruncatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	in := faultfs.NewInjector(faultfs.OS)
+	l, _, err := OpenOrCreate(path, 0, Options{FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendBatch(batchOf(3)); err != nil {
+		t.Fatal(err)
+	}
+	ackedSize := l.Size()
+
+	// Tear the next append mid-record and make the rollback truncate fail
+	// too, so the torn bytes stay on disk — the process "crashes" here.
+	in.Add(faultfs.Rule{Op: faultfs.OpWrite, Mode: faultfs.ModePartial, Partial: 6})
+	in.Add(faultfs.Rule{Op: faultfs.OpTruncate})
+	if _, err := l.AppendBatch(batchOf(2)); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	in.Clear()
+	l.f.Close() // simulate the crash: no Close() flush path
+
+	if fi, err := os.Stat(path); err != nil || fi.Size() != ackedSize+6 {
+		t.Fatalf("expected %d torn bytes on disk (size %d, acked %d)", 6, fi.Size(), ackedSize)
+	}
+
+	l2, recs, err := OpenOrCreate(path, 0, Options{})
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	defer l2.Close()
+	if len(recs) != 1 || recs[0].LSN != 0 {
+		t.Fatalf("recovered records %+v, want the single acked batch", recs)
+	}
+	if l2.Size() != ackedSize {
+		t.Fatalf("reopen did not truncate the torn tail: size %d, want %d", l2.Size(), ackedSize)
+	}
+	// The log is append-ready again at the right LSN.
+	if lsn, err := l2.AppendBatch(batchOf(1)); err != nil || lsn != 1 {
+		t.Fatalf("append after torn-tail truncation: lsn %d, %v", lsn, err)
+	}
+	if err := l2.SelfCheck(); err != nil {
+		t.Fatalf("self-check after recovery append: %v", err)
+	}
+}
+
+// TestAppendFsyncErrorRollsBack: with SyncAlways, a failed fsync must not
+// leave the (possibly already-buffered) record behind, or recovery would
+// resurrect a mutation the caller was told failed.
+func TestAppendFsyncErrorRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	in := faultfs.NewInjector(faultfs.OS)
+	l, _, err := OpenOrCreate(path, 0, Options{Sync: SyncAlways, FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.AppendBatch(batchOf(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	in.Add(faultfs.Rule{Op: faultfs.OpSync, Path: "wal"})
+	if _, err := l.AppendBatch(batchOf(2)); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("append under fsync fault: got %v, want EIO", err)
+	}
+	in.Clear()
+
+	if got := reopenLSNs(t, path); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("recovery sees %v, want only LSN 0", got)
+	}
+	// Healthy again after the fault clears, at the LSN the caller expects.
+	if lsn, err := l.AppendBatch(batchOf(1)); err != nil || lsn != 1 {
+		t.Fatalf("append after fault cleared: lsn %d, %v", lsn, err)
+	}
+	if err := l.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRotateRenameFailureKeepsOldLog: a failed rotation must leave the old
+// log valid and complete (the checkpoint has not replaced it yet as the
+// recovery source of truth until the WAL rotates) and clean up its temp file.
+func TestRotateRenameFailureKeepsOldLog(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	in := faultfs.NewInjector(faultfs.OS)
+	l, _, err := OpenOrCreate(path, 0, Options{FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := l.AppendBatch(batchOf(i + 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	in.Add(faultfs.Rule{Op: faultfs.OpRename})
+	if err := l.Rotate(l.NextLSN()); err == nil {
+		t.Fatal("rotate under rename fault reported success")
+	}
+	in.Clear()
+	noTmp(t, dir)
+
+	if got := reopenLSNs(t, path); len(got) != 3 {
+		t.Fatalf("old log after failed rotate: %v, want 3 records", got)
+	}
+	// The unrotated log must still accept appends at the right LSN.
+	if lsn, err := l.AppendBatch(batchOf(1)); err != nil || lsn != 3 {
+		t.Fatalf("append after failed rotate: lsn %d, %v", lsn, err)
+	}
+
+	// The fault clears; rotation now succeeds and self-checks.
+	if err := l.Rotate(l.NextLSN()); err != nil {
+		t.Fatalf("rotate after fault cleared: %v", err)
+	}
+	if err := l.SelfCheck(); err != nil {
+		t.Fatalf("self-check after rotate: %v", err)
+	}
+	if l.BaseLSN() != 4 || l.Size() != headerSize {
+		t.Fatalf("rotated log base %d size %d, want base 4, header only", l.BaseLSN(), l.Size())
+	}
+}
+
+// TestCreateSilentShortHeaderCaught: a lying short write of the fresh log's
+// header is exactly the damage the create-path read-back exists to catch —
+// an unverified 16-byte prefix would relabel every subsequent record's LSN.
+func TestCreateSilentShortHeaderCaught(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	in := faultfs.NewInjector(faultfs.OS)
+	in.Add(faultfs.Rule{Op: faultfs.OpWrite, Path: ".tmp", Mode: faultfs.ModeSilentShort, Partial: 10})
+
+	_, _, err := OpenOrCreate(path, 7, Options{FS: in})
+	if err == nil {
+		t.Fatal("create with a lying header write reported success")
+	}
+	if !strings.Contains(err.Error(), "verify") {
+		t.Fatalf("error does not name verification: %v", err)
+	}
+	noTmp(t, dir)
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("log file exists after failed create: %v", err)
+	}
+}

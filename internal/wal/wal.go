@@ -36,6 +36,7 @@
 package wal
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -44,6 +45,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"dynppr/internal/faultfs"
 	"dynppr/internal/fsatomic"
 	"dynppr/internal/graph"
 	"dynppr/internal/stream"
@@ -93,6 +95,16 @@ func (p SyncPolicy) String() string {
 type Options struct {
 	// Sync is the fsync policy for appends.
 	Sync SyncPolicy
+	// FS overrides the filesystem the log writes through; nil selects the
+	// real one. Tests inject write-path faults here.
+	FS faultfs.FS
+}
+
+func (o Options) fsys() faultfs.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return faultfs.OS
 }
 
 // RecordType distinguishes the journaled mutation kinds.
@@ -129,7 +141,8 @@ type Record struct {
 type Log struct {
 	path string
 	opts Options
-	f    *os.File
+	fs   faultfs.FS
+	f    faultfs.File
 	base uint64
 	next uint64
 	size int64
@@ -142,7 +155,8 @@ type Log struct {
 // itself was torn — is (re)created empty with createBase as its baseLSN.
 // Mid-file damage returns ErrCorrupt.
 func OpenOrCreate(path string, createBase uint64, opts Options) (*Log, []Record, error) {
-	data, err := os.ReadFile(path)
+	fs := opts.fsys()
+	data, err := fs.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) || (err == nil && len(data) < headerSize) {
 		l, cerr := create(path, createBase, opts)
 		return l, nil, cerr
@@ -154,7 +168,7 @@ func OpenOrCreate(path string, createBase uint64, opts Options) (*Log, []Record,
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: %s: %w", path, err)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	f, err := fs.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -174,16 +188,20 @@ func OpenOrCreate(path string, createBase uint64, opts Options) (*Log, []Record,
 		return nil, nil, err
 	}
 	return &Log{
-		path: path, opts: opts, f: f,
+		path: path, opts: opts, fs: fs, f: f,
 		base: base, next: base + uint64(len(recs)), size: valid,
 	}, recs, nil
 }
 
 // create writes a fresh log (header only) at path via a temp file and atomic
 // rename, so a crash mid-create never leaves a half-written header behind.
+// The header is read back and compared before the rename — a silent short
+// write here would otherwise relabel (or strand) every subsequent record —
+// and every failure path removes the temp file.
 func create(path string, base uint64, opts Options) (*Log, error) {
+	fs := opts.fsys()
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -197,21 +215,45 @@ func create(path string, base uint64, opts Options) (*Log, error) {
 	binary.LittleEndian.PutUint32(hdr[16:], crc32.Checksum(hdr[:16], castagnoli))
 	if _, err := f.Write(hdr[:]); err != nil {
 		f.Close()
+		fs.Remove(tmp)
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
+		fs.Remove(tmp)
 		return nil, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		f.Close()
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
 		return nil, err
 	}
-	if err := fsatomic.SyncDir(filepath.Dir(path)); err != nil {
-		f.Close()
+	if got, err := fs.ReadFile(tmp); err != nil || !bytes.Equal(got, hdr[:]) {
+		fs.Remove(tmp)
+		if err == nil {
+			err = fmt.Errorf("wal: verify %s: wrote %d header bytes but %d read back (torn or lying write)",
+				tmp, headerSize, len(got))
+		}
 		return nil, err
 	}
-	return &Log{path: path, opts: opts, f: f, base: base, next: base, size: headerSize}, nil
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return nil, err
+	}
+	if err := fsatomic.SyncDirFS(fs, filepath.Dir(path)); err != nil {
+		return nil, err
+	}
+	// Reopen under the final name: the append handle must carry the real
+	// path, not the temp one — path-scoped fault rules (and error messages)
+	// would otherwise keep attributing every append to a *.tmp file.
+	af, err := fs.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := af.Seek(headerSize, io.SeekStart); err != nil {
+		af.Close()
+		return nil, err
+	}
+	return &Log{path: path, opts: opts, fs: fs, f: af, base: base, next: base, size: headerSize}, nil
 }
 
 // BaseLSN returns the LSN of the first record slot of the current file.
@@ -289,8 +331,9 @@ func (l *Log) append(buf []byte) (uint64, error) {
 
 // rollback discards a failed append's partial bytes so the on-disk log
 // matches what the caller was acknowledged. Errors are swallowed: the
-// Service marks persistence sticky-failed after any append error, so no
-// further writes will land either way, and Open truncates whatever remains.
+// Service degrades persistence after any append error — no further appends
+// land on this file before a rotation replaces it — and Open truncates
+// whatever remains if the process dies first.
 func (l *Log) rollback() {
 	if err := l.f.Truncate(l.size); err != nil {
 		return
@@ -323,6 +366,29 @@ func (l *Log) Rotate(newBase uint64) error {
 	l.base = newBase
 	l.size = fresh.size
 	return old.Close()
+}
+
+// SelfCheck re-reads the log file from disk and verifies it parses back to
+// exactly the in-memory view: same baseLSN, same record count, same size,
+// no torn tail. The recovery probe runs it after rotating onto a fresh file
+// so a heal is only declared once the new log is proven readable.
+func (l *Log) SelfCheck() error {
+	data, err := l.fs.ReadFile(l.path)
+	if err != nil {
+		return fmt.Errorf("wal: self-check %s: %w", l.path, err)
+	}
+	base, recs, valid, err := scan(data)
+	if err != nil {
+		return fmt.Errorf("wal: self-check %s: %w", l.path, err)
+	}
+	if valid != int64(len(data)) {
+		return fmt.Errorf("wal: self-check %s: %d torn tail bytes", l.path, int64(len(data))-valid)
+	}
+	if base != l.base || valid != l.size || base+uint64(len(recs)) != l.next {
+		return fmt.Errorf("wal: self-check %s: on disk base %d, %d records, %d bytes; in memory base %d, next %d, %d bytes",
+			l.path, base, len(recs), valid, l.base, l.next, l.size)
+	}
+	return nil
 }
 
 // Close flushes and closes the log file.

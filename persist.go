@@ -3,12 +3,17 @@ package dynppr
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"dynppr/internal/ckpt"
+	"dynppr/internal/faultfs"
 	"dynppr/internal/graph"
 	"dynppr/internal/push"
 	"dynppr/internal/wal"
@@ -66,11 +71,97 @@ type PersistOptions struct {
 	Dir string
 	// Sync is the WAL fsync policy.
 	Sync SyncPolicy
+	// FS overrides the filesystem the durability layer writes through; nil
+	// selects the real one. Tests route this to a faultfs.Injector.
+	FS faultfs.FS
+	// ProbeBackoff is the delay before the first recovery probe after
+	// persistence degrades; each failed probe doubles it (with ±25% jitter)
+	// up to a 30s ceiling. Zero selects 250ms.
+	ProbeBackoff time.Duration
+	// ProbeMax caps consecutive failed recovery probes before the service
+	// gives up and fails persistence permanently. Zero selects 64; a
+	// negative value probes forever.
+	ProbeMax int
+}
+
+func (po PersistOptions) fsys() faultfs.FS {
+	if po.FS != nil {
+		return po.FS
+	}
+	return faultfs.OS
 }
 
 // ErrNoPersistence is returned by Checkpoint on a service built without a
 // data directory.
 var ErrNoPersistence = errors.New("dynppr: service has no persistence configured")
+
+// Degraded-mode errors. Both wrap the classified I/O error that caused the
+// transition; match them with errors.Is.
+var (
+	// ErrPersistenceDegraded rejects mutations while persistence is
+	// degraded: a journal or checkpoint write failed with a transient
+	// error, the mutation had no effect, and a background recovery probe
+	// is scheduled. Reads keep serving; retry the write after the probe.
+	ErrPersistenceDegraded = errors.New("dynppr: persistence degraded: writes temporarily rejected while recovery probes run")
+	// ErrPersistenceFailed rejects mutations once persistence has failed
+	// permanently — a permanent-class I/O error (read-only filesystem,
+	// permission loss) or the probe-attempt cap. Reads keep serving;
+	// mutations stay disabled until the process is restarted against
+	// repaired storage.
+	ErrPersistenceFailed = errors.New("dynppr: persistence failed permanently: mutations disabled")
+)
+
+// PersistState is the durability layer's health: the write path is governed
+// by a three-state machine instead of a sticky error, so transient storage
+// trouble (ENOSPC, an fsync hiccup) degrades service instead of permanently
+// disabling writes.
+type PersistState int32
+
+const (
+	// PersistHealthy: mutations journal and checkpoint normally.
+	PersistHealthy PersistState = iota
+	// PersistDegraded: a write failed with a transient error. Reads keep
+	// serving from converged snapshots, mutations are rejected with
+	// ErrPersistenceDegraded (zero partial effect), and a background probe
+	// with exponential backoff re-checkpoints, rotates the WAL onto a
+	// fresh file, verifies both by re-reading them, and returns the
+	// service to PersistHealthy without a restart.
+	PersistDegraded
+	// PersistFailed: a permanent-class error or too many failed probes.
+	// Mutations are rejected with ErrPersistenceFailed until restart.
+	PersistFailed
+)
+
+// String names the state ("healthy"/"degraded"/"failed").
+func (st PersistState) String() string {
+	switch st {
+	case PersistHealthy:
+		return "healthy"
+	case PersistDegraded:
+		return "degraded"
+	case PersistFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("PersistState(%d)", int32(st))
+	}
+}
+
+// Recovery-probe scheduling defaults.
+const (
+	defaultProbeBackoff = 250 * time.Millisecond
+	maxProbeBackoff     = 30 * time.Second
+	defaultProbeMax     = 64
+)
+
+// persistPermanent classifies an I/O error: permanent errors (read-only
+// filesystem, revoked permissions) fail persistence immediately — probing
+// cannot fix them — while everything else (ENOSPC, EIO, fsync hiccups) is
+// treated as transient and probed.
+func persistPermanent(err error) bool {
+	return errors.Is(err, syscall.EROFS) ||
+		errors.Is(err, syscall.EPERM) ||
+		errors.Is(err, syscall.EACCES)
+}
 
 func checkpointPath(dir string) string { return filepath.Join(dir, "checkpoint") }
 func walPath(dir string) string        { return filepath.Join(dir, "wal.log") }
@@ -82,34 +173,232 @@ func CheckpointExists(dir string) bool {
 	return err == nil
 }
 
-// persistence is the durability state attached to a Service. The log and
-// failed fields are pipeline-owned; the atomic mirrors feed Stats.
-type persistence struct {
-	dir string
-	log *wal.Log
-	// failed is the sticky journal error: once an append or checkpoint
-	// write fails, every later mutation is rejected with it, so the
-	// in-memory state never diverges from what recovery can rebuild.
-	failed error
-
-	nextLSN     atomic.Uint64
-	ckptLSN     atomic.Uint64
-	checkpoints atomic.Int64
-	// failedMsg mirrors failed for Stats readers (failed itself is
-	// pipeline-owned), so monitoring can see that the service has gone
-	// read-only instead of inferring it from per-request errors.
-	failedMsg atomic.Pointer[string]
+// sweepTmpFiles removes *.tmp leftovers from the data directory at boot.
+// Every in-process failure path already cleans its own temp file, but a
+// crash between a temp write and its rename (or a kill -9 mid-degraded
+// episode) can strand one; sweeping at boot keeps them from accumulating.
+// Best-effort: a sweep failure never blocks a boot.
+func sweepTmpFiles(fs faultfs.FS, dir string) {
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+			_ = fs.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
 }
 
-func (p *persistence) fail(err error) error {
-	p.failed = fmt.Errorf("dynppr: persistence failed (mutations disabled): %w", err)
-	msg := p.failed.Error()
-	p.failedMsg.Store(&msg)
-	return p.failed
+// persistence is the durability state attached to a Service. The log and
+// the degraded-mode machinery (lastErr, attempts, probeTimer) are
+// pipeline-owned; the atomic mirrors feed Stats and the cheap
+// PersistenceHealth accessor. The probe timer's callback only calls
+// Service.submit, so the pipeline-owned fields are never touched off the
+// pipeline goroutine.
+type persistence struct {
+	dir string
+	fs  faultfs.FS
+	log *wal.Log
+
+	// Pipeline-owned degraded-mode machinery.
+	lastErr      error // classified error behind the current non-healthy state
+	attempts     int   // consecutive failed heal attempts
+	probeBackoff time.Duration
+	probeMax     int // 0 = probe forever
+	probeTimer   *time.Timer
+	rng          *rand.Rand // probe jitter
+
+	// Atomic mirrors for Stats/health readers.
+	state          atomic.Int32
+	nextLSN        atomic.Uint64
+	ckptLSN        atomic.Uint64
+	checkpoints    atomic.Int64
+	lastErrMsg     atomic.Pointer[string]
+	nextProbeAt    atomic.Int64 // unix nanos of the next scheduled probe; 0 = none
+	probeAttempts  atomic.Int64
+	probeSuccesses atomic.Int64
+	degradedSince  atomic.Int64 // unix nanos the current degraded window opened; 0 = not degraded
+	degradedNanos  atomic.Int64 // cumulative completed degraded time
+}
+
+func (p *persistence) stateNow() PersistState { return PersistState(p.state.Load()) }
+
+// rejectErr is the error mutations are rejected with while not healthy.
+func (p *persistence) rejectErr() error {
+	sentinel := ErrPersistenceDegraded
+	if p.stateNow() == PersistFailed {
+		sentinel = ErrPersistenceFailed
+	}
+	if p.lastErr == nil {
+		return sentinel
+	}
+	// Both the sentinel and the classified cause stay matchable with
+	// errors.Is: callers branch on the sentinel, tests and operators on the
+	// underlying errno class.
+	return fmt.Errorf("%w: %w", sentinel, p.lastErr)
+}
+
+// backoff computes the next probe delay: probeBackoff doubled per failed
+// attempt, capped at 30s, with ±25% jitter so a fleet degraded by the same
+// event does not probe in lockstep.
+func (p *persistence) backoff() time.Duration {
+	d := p.probeBackoff
+	for i := 0; i < p.attempts && d < maxProbeBackoff; i++ {
+		d *= 2
+	}
+	if d > maxProbeBackoff {
+		d = maxProbeBackoff
+	}
+	jitter := 1 + (p.rng.Float64()-0.5)/2
+	return time.Duration(float64(d) * jitter)
+}
+
+func (p *persistence) stopProbe() {
+	if p.probeTimer != nil {
+		p.probeTimer.Stop()
+		p.probeTimer = nil
+	}
+	p.nextProbeAt.Store(0)
+}
+
+// closeDegradedWindow folds the open degraded window, if any, into the
+// cumulative counter.
+func (p *persistence) closeDegradedWindow() {
+	if since := p.degradedSince.Swap(0); since > 0 {
+		p.degradedNanos.Add(time.Now().UnixNano() - since)
+	}
 }
 
 func (p *persistence) close() error {
+	p.stopProbe()
 	return p.log.Close()
+}
+
+// degradePersistence is the single entry point out of PersistHealthy: it
+// classifies err, transitions to PersistDegraded (scheduling a recovery
+// probe) or PersistFailed (permanent error, or the probe cap is exhausted),
+// and returns the error the triggering mutation is rejected with. Runs on
+// the pipeline goroutine.
+func (s *Service) degradePersistence(p *persistence, err error) error {
+	p.lastErr = err
+	msg := err.Error()
+	p.lastErrMsg.Store(&msg)
+	if persistPermanent(err) || (p.probeMax > 0 && p.attempts >= p.probeMax) {
+		p.stopProbe()
+		p.closeDegradedWindow()
+		p.state.Store(int32(PersistFailed))
+		return p.rejectErr()
+	}
+	if p.stateNow() != PersistDegraded {
+		p.degradedSince.Store(time.Now().UnixNano())
+		p.state.Store(int32(PersistDegraded))
+	}
+	s.schedulePersistProbe(p)
+	return p.rejectErr()
+}
+
+// schedulePersistProbe (re)arms the recovery-probe timer. The timer callback
+// runs off-pipeline and only submits the probe onto the pipeline; if the
+// service closes first, the submit fails and the callback exits.
+func (s *Service) schedulePersistProbe(p *persistence) {
+	d := p.backoff()
+	p.nextProbeAt.Store(time.Now().Add(d).UnixNano())
+	if p.probeTimer != nil {
+		p.probeTimer.Stop()
+	}
+	p.probeTimer = time.AfterFunc(d, func() {
+		_ = s.submit(func() { s.persistProbe(p) })
+	})
+}
+
+// persistProbe is one background heal attempt, on the pipeline.
+func (s *Service) persistProbe(p *persistence) {
+	if p.stateNow() != PersistDegraded {
+		return // healed by a manual Checkpoint, or already failed
+	}
+	p.probeAttempts.Add(1)
+	if err := s.tryHealPersistence(p); err != nil {
+		p.attempts++
+		_ = s.degradePersistence(p, err)
+	}
+}
+
+// tryHealPersistence runs the full recovery sequence on the pipeline: write
+// a fresh checkpoint of the current state (which holds exactly the
+// acknowledged mutations — journaling failures reject before applying, so
+// memory never runs ahead of the journal), verify it by re-reading and
+// decoding it, rotate the WAL onto a fresh file, verify that too, and only
+// then declare the stack healthy. A checkpoint that landed in an earlier
+// partially-successful attempt is simply rewritten: no mutations are
+// accepted while degraded, so the state (and its LSN) cannot have moved.
+func (s *Service) tryHealPersistence(p *persistence) error {
+	lsn := p.log.NextLSN()
+	path := checkpointPath(p.dir)
+	if err := ckpt.WriteFileFS(p.fs, path, s.checkpointData(lsn)); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	verify, err := ckpt.LoadFileFS(p.fs, path)
+	if err != nil {
+		return fmt.Errorf("checkpoint verify: %w", err)
+	}
+	if verify.LSN != lsn {
+		return fmt.Errorf("checkpoint verify: covers LSN %d, want %d", verify.LSN, lsn)
+	}
+	if err := p.log.Rotate(lsn); err != nil {
+		return fmt.Errorf("wal rotate: %w", err)
+	}
+	if err := p.log.SelfCheck(); err != nil {
+		return fmt.Errorf("wal verify: %w", err)
+	}
+	p.healed(lsn)
+	return nil
+}
+
+// healed transitions back to PersistHealthy after a verified heal.
+func (p *persistence) healed(lsn uint64) {
+	p.ckptLSN.Store(lsn)
+	p.nextLSN.Store(lsn)
+	p.checkpoints.Add(1)
+	p.probeSuccesses.Add(1)
+	p.attempts = 0
+	p.lastErr = nil
+	p.lastErrMsg.Store(nil)
+	p.stopProbe()
+	p.closeDegradedWindow()
+	p.state.Store(int32(PersistHealthy))
+}
+
+// PersistenceHealth is the cheap (atomic-reads-only) view of the durability
+// state machine, fit for hot paths like /healthz and write rejection
+// mapping — unlike Stats, it never walks the source table.
+type PersistenceHealth struct {
+	// State is the current durability state.
+	State PersistState
+	// NextProbe is the time until the next scheduled recovery probe; zero
+	// when none is pending. HTTP front ends derive Retry-After from it.
+	NextProbe time.Duration
+	// Err is the classified error behind a non-healthy state.
+	Err string
+}
+
+// PersistenceHealth reports the durability layer's state machine; ok is
+// false on a service without persistence configured.
+func (s *Service) PersistenceHealth() (PersistenceHealth, bool) {
+	p := s.persist.Load()
+	if p == nil {
+		return PersistenceHealth{}, false
+	}
+	h := PersistenceHealth{State: p.stateNow()}
+	if msg := p.lastErrMsg.Load(); msg != nil {
+		h.Err = *msg
+	}
+	if at := p.nextProbeAt.Load(); at != 0 {
+		if d := time.Until(time.Unix(0, at)); d > 0 {
+			h.NextProbe = d
+		}
+	}
+	return h, true
 }
 
 // PersistenceStats reports the durability layer's state inside ServiceStats.
@@ -118,6 +407,9 @@ type PersistenceStats struct {
 	Dir string
 	// Sync names the WAL fsync policy.
 	Sync string
+	// State is the durability state machine's current state:
+	// "healthy", "degraded" or "failed".
+	State string
 	// NextLSN is the sequence number the next journaled mutation will
 	// receive — the total number of mutations journaled over the service's
 	// lifetime, rotations included.
@@ -127,12 +419,23 @@ type PersistenceStats struct {
 	// crash right now.
 	LastCheckpointLSN uint64
 	// Checkpoints counts completed Checkpoint calls (the construction-time
-	// one included).
+	// one included) and successful recovery probes.
 	Checkpoints int64
-	// Failed carries the sticky persistence error once journaling or
-	// checkpointing has failed — the service is serving reads but
-	// rejecting every mutation until restarted. Empty while healthy.
+	// Failed carries the classified persistence error while the state is
+	// degraded or failed — the service is serving reads but rejecting
+	// mutations (temporarily or permanently). Empty while healthy.
 	Failed string
+	// ProbeAttempts counts recovery heal attempts (background probes and
+	// manual Checkpoint calls while degraded).
+	ProbeAttempts int64
+	// ProbeSuccesses counts heals that returned the service to healthy.
+	ProbeSuccesses int64
+	// DegradedSeconds is the cumulative time spent degraded over the
+	// service's lifetime, the currently open window included.
+	DegradedSeconds float64
+	// NextProbe is the time until the next scheduled recovery probe; zero
+	// when none is pending.
+	NextProbe time.Duration
 }
 
 func (s *Service) persistenceStats() *PersistenceStats {
@@ -143,31 +446,46 @@ func (s *Service) persistenceStats() *PersistenceStats {
 	st := &PersistenceStats{
 		Dir:               p.dir,
 		Sync:              p.log.Policy().String(),
+		State:             p.stateNow().String(),
 		NextLSN:           p.nextLSN.Load(),
 		LastCheckpointLSN: p.ckptLSN.Load(),
 		Checkpoints:       p.checkpoints.Load(),
+		ProbeAttempts:     p.probeAttempts.Load(),
+		ProbeSuccesses:    p.probeSuccesses.Load(),
 	}
-	if msg := p.failedMsg.Load(); msg != nil {
+	if msg := p.lastErrMsg.Load(); msg != nil {
 		st.Failed = *msg
+	}
+	deg := p.degradedNanos.Load()
+	if since := p.degradedSince.Load(); since > 0 {
+		deg += time.Now().UnixNano() - since
+	}
+	st.DegradedSeconds = time.Duration(deg).Seconds()
+	if at := p.nextProbeAt.Load(); at != 0 {
+		if d := time.Until(time.Unix(0, at)); d > 0 {
+			st.NextProbe = d
+		}
 	}
 	return st
 }
 
 // journal is the write-ahead hook of the pipeline: it runs the given append
 // on the pipeline goroutine before the corresponding mutation is applied. It
-// is a no-op on an in-memory service, and any append failure sticks — later
-// mutations are rejected so the in-memory state never runs ahead of what
-// recovery can reconstruct.
+// is a no-op on an in-memory service. An append failure degrades (or, for
+// permanent errors, fails) persistence and rejects the mutation — the
+// in-memory state never runs ahead of what recovery can reconstruct, and no
+// further append touches the current WAL file before the recovery probe
+// rotates onto a fresh one.
 func (s *Service) journal(appendRec func(*wal.Log) (uint64, error)) error {
 	p := s.persist.Load()
 	if p == nil {
 		return nil
 	}
-	if p.failed != nil {
-		return p.failed
+	if p.stateNow() != PersistHealthy {
+		return p.rejectErr()
 	}
 	if _, err := appendRec(p.log); err != nil {
-		return p.fail(err)
+		return s.degradePersistence(p, err)
 	}
 	p.nextLSN.Store(p.log.NextLSN())
 	return nil
@@ -230,16 +548,26 @@ func (s *Service) doCheckpoint() (uint64, error) {
 	if p == nil {
 		return 0, ErrNoPersistence
 	}
-	if p.failed != nil {
-		return 0, p.failed
+	switch p.stateNow() {
+	case PersistFailed:
+		return 0, p.rejectErr()
+	case PersistDegraded:
+		// A manual checkpoint while degraded doubles as an immediate
+		// recovery probe: heal now or report why not.
+		p.probeAttempts.Add(1)
+		if err := s.tryHealPersistence(p); err != nil {
+			p.attempts++
+			return 0, s.degradePersistence(p, err)
+		}
+		return p.ckptLSN.Load(), nil
 	}
 	lsn := p.log.NextLSN()
 	data := s.checkpointData(lsn)
-	if err := ckpt.WriteFile(checkpointPath(p.dir), data); err != nil {
-		return 0, p.fail(err)
+	if err := ckpt.WriteFileFS(p.fs, checkpointPath(p.dir), data); err != nil {
+		return 0, s.degradePersistence(p, err)
 	}
 	if err := p.log.Rotate(lsn); err != nil {
-		return 0, p.fail(err)
+		return 0, s.degradePersistence(p, err)
 	}
 	p.ckptLSN.Store(lsn)
 	p.checkpoints.Add(1)
@@ -293,7 +621,8 @@ func NewPersistentService(g *Graph, sources []VertexID, so ServiceOptions, po Pe
 	if CheckpointExists(po.Dir) {
 		return nil, fmt.Errorf("dynppr: %s already holds a checkpoint; recover it with NewServiceFromRecovery", po.Dir)
 	}
-	log, stale, err := wal.OpenOrCreate(walPath(po.Dir), 0, wal.Options{Sync: po.Sync})
+	sweepTmpFiles(po.fsys(), po.Dir)
+	log, stale, err := wal.OpenOrCreate(walPath(po.Dir), 0, wal.Options{Sync: po.Sync, FS: po.FS})
 	if err != nil {
 		return nil, err
 	}
@@ -322,7 +651,8 @@ func NewPersistentService(g *Graph, sources []VertexID, so ServiceOptions, po Pe
 // and rebuild each source's Top-K index from scratch — delta history from
 // the previous process is never trusted.
 func NewServiceFromRecovery(so ServiceOptions, po PersistOptions) (*Service, error) {
-	data, err := ckpt.LoadFile(checkpointPath(po.Dir))
+	sweepTmpFiles(po.fsys(), po.Dir)
+	data, err := ckpt.LoadFileFS(po.fsys(), checkpointPath(po.Dir))
 	if err != nil {
 		return nil, err
 	}
@@ -354,7 +684,7 @@ func NewServiceFromRecovery(so ServiceOptions, po PersistOptions) (*Service, err
 	// Open the WAL before attaching it: a torn tail is truncated here, and
 	// the surviving records are replayed below. A missing or torn-header
 	// file recreates an empty log based at the checkpoint's LSN.
-	log, records, err := wal.OpenOrCreate(walPath(po.Dir), data.LSN, wal.Options{Sync: po.Sync})
+	log, records, err := wal.OpenOrCreate(walPath(po.Dir), data.LSN, wal.Options{Sync: po.Sync, FS: po.FS})
 	if err != nil {
 		return nil, err
 	}
@@ -412,7 +742,23 @@ func NewServiceFromRecovery(so ServiceOptions, po PersistOptions) (*Service, err
 // on-disk invariant simple: a returned persistent service always has a
 // checkpoint of its exact current state and an empty journal.
 func finishPersistentBoot(svc *Service, po PersistOptions, log *wal.Log, checkpoint bool) (*Service, error) {
-	p := &persistence{dir: po.Dir, log: log}
+	p := &persistence{
+		dir:          po.Dir,
+		fs:           po.fsys(),
+		log:          log,
+		probeBackoff: po.ProbeBackoff,
+		probeMax:     po.ProbeMax,
+		rng:          rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	if p.probeBackoff <= 0 {
+		p.probeBackoff = defaultProbeBackoff
+	}
+	switch {
+	case p.probeMax == 0:
+		p.probeMax = defaultProbeMax
+	case p.probeMax < 0:
+		p.probeMax = 0 // probe forever
+	}
 	p.nextLSN.Store(log.NextLSN())
 	p.ckptLSN.Store(log.BaseLSN())
 	svc.persist.Store(p)

@@ -1,0 +1,314 @@
+package dynppr
+
+// Degraded-mode persistence tests: transient storage faults must degrade the
+// write path (reads keep serving, mutations rejected with zero partial
+// effect) and self-heal via the recovery probe; permanent faults and
+// exhausted probe budgets must fail persistence instead of probing forever.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"dynppr/internal/faultfs"
+)
+
+// faultTestService boots a small persistent service through an injector with
+// a fast probe cadence. It returns the service, the injector, the data dir,
+// and the workload batches that remain to be applied.
+func faultTestService(t *testing.T, po func(*PersistOptions)) (*Service, *faultfs.Injector, string, []VertexID, []Batch) {
+	t.Helper()
+	initial, stream := recoveryWorkload(t, 150, 1200, 4, 15)
+	opts := DefaultOptions()
+	opts.Engine = EngineDeterministic
+	opts.Parallelism = 1
+	opts.Epsilon = 1e-4
+	sources := GraphFromEdges(initial).TopDegreeVertices(2)
+	in := faultfs.NewInjector(faultfs.OS)
+	dir := filepath.Join(t.TempDir(), "data")
+	p := PersistOptions{Dir: dir, Sync: SyncAlways, FS: in, ProbeBackoff: time.Millisecond}
+	if po != nil {
+		po(&p)
+	}
+	svc, err := NewPersistentService(GraphFromEdges(initial), sources,
+		ServiceOptions{Options: opts, PoolWorkers: 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, in, dir, sources, stream
+}
+
+func waitPersistState(t *testing.T, svc *Service, want PersistState) PersistenceHealth {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		h, ok := svc.PersistenceHealth()
+		if !ok {
+			t.Fatal("service has no persistence")
+		}
+		if h.State == want {
+			return h
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("persistence stuck in %v (err %q), want %v", h.State, h.Err, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTransientFaultDegradesThenSelfHeals is the core state-machine cycle:
+// HEALTHY -> (ENOSPC) -> DEGRADED (reads serve, writes shed, probe armed)
+// -> HEALTHY again via the background probe, without a restart.
+func TestTransientFaultDegradesThenSelfHeals(t *testing.T) {
+	svc, in, _, sources, stream := faultTestService(t, nil)
+	defer svc.Close()
+	if _, err := svc.ApplyBatch(stream[0]); err != nil {
+		t.Fatal(err)
+	}
+	preFault, err := svc.Estimates(sources[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in.Add(faultfs.Rule{Op: faultfs.OpWrite, Path: "wal"})
+	_, err = svc.ApplyBatch(stream[1])
+	if !errors.Is(err, ErrPersistenceDegraded) {
+		t.Fatalf("mutation under fault: got %v, want ErrPersistenceDegraded", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("rejection does not carry the classified cause: %v", err)
+	}
+
+	// Zero partial effect: the rejected batch changed nothing.
+	if got, _ := svc.Estimates(sources[0]); !bitsEqual(got, preFault) {
+		t.Fatal("rejected mutation left a partial effect on served estimates")
+	}
+	// Reads keep serving while degraded.
+	if h, _ := svc.PersistenceHealth(); h.State == PersistDegraded {
+		if _, err := svc.TopK(sources[0], 5); err != nil {
+			t.Fatalf("read while degraded: %v", err)
+		}
+	}
+
+	// The one-shot fault has fired; the probe heals on its own.
+	h := waitPersistState(t, svc, PersistHealthy)
+	if h.Err != "" {
+		t.Fatalf("healthy state still carries error %q", h.Err)
+	}
+	// The rejected batch retries cleanly, and the rest of the stream lands.
+	for _, b := range stream[1:] {
+		if _, err := svc.ApplyBatch(b); err != nil {
+			t.Fatalf("mutation after heal: %v", err)
+		}
+	}
+
+	st := svc.Stats().Persistence
+	if st.ProbeSuccesses < 1 {
+		t.Fatalf("probe successes %d, want >= 1", st.ProbeSuccesses)
+	}
+	if st.ProbeAttempts < st.ProbeSuccesses {
+		t.Fatalf("probe attempts %d < successes %d", st.ProbeAttempts, st.ProbeSuccesses)
+	}
+	if st.DegradedSeconds <= 0 {
+		t.Fatal("degraded window not accounted in DegradedSeconds")
+	}
+	if st.Failed != "" {
+		t.Fatalf("healthy stats still carry failure %q", st.Failed)
+	}
+}
+
+// TestDegradedHealthReportsNextProbe: while degraded, PersistenceHealth must
+// expose the time of the next probe (the Retry-After source) and the cause.
+func TestDegradedHealthReportsNextProbe(t *testing.T) {
+	svc, in, _, _, stream := faultTestService(t, func(p *PersistOptions) {
+		p.ProbeBackoff = time.Hour // keep the probe pending while we look
+	})
+	defer svc.Close()
+	in.Add(faultfs.Rule{Op: faultfs.OpWrite, Path: "wal"})
+	if _, err := svc.ApplyBatch(stream[0]); !errors.Is(err, ErrPersistenceDegraded) {
+		t.Fatalf("got %v", err)
+	}
+	h, _ := svc.PersistenceHealth()
+	if h.State != PersistDegraded {
+		t.Fatalf("state %v, want degraded", h.State)
+	}
+	if h.NextProbe <= 0 {
+		t.Fatal("degraded health has no pending probe time")
+	}
+	if h.Err == "" {
+		t.Fatal("degraded health does not report its cause")
+	}
+	// A second mutation is rejected without touching storage again.
+	before := in.Ops()
+	if _, err := svc.ApplyBatch(stream[1]); !errors.Is(err, ErrPersistenceDegraded) {
+		t.Fatalf("got %v", err)
+	}
+	if in.Ops() != before {
+		t.Fatal("a rejected-while-degraded mutation touched the filesystem")
+	}
+}
+
+// TestManualCheckpointHealsDegraded: Checkpoint while degraded is an
+// immediate, caller-visible recovery probe.
+func TestManualCheckpointHealsDegraded(t *testing.T) {
+	svc, in, _, _, stream := faultTestService(t, func(p *PersistOptions) {
+		p.ProbeBackoff = time.Hour // the manual path must do the healing
+	})
+	defer svc.Close()
+	if _, err := svc.ApplyBatch(stream[0]); err != nil {
+		t.Fatal(err)
+	}
+	in.Add(faultfs.Rule{Op: faultfs.OpWrite, Path: "wal"})
+	if _, err := svc.ApplyBatch(stream[1]); !errors.Is(err, ErrPersistenceDegraded) {
+		t.Fatalf("got %v", err)
+	}
+
+	lsn, err := svc.Checkpoint()
+	if err != nil {
+		t.Fatalf("manual checkpoint while degraded: %v", err)
+	}
+	if h, _ := svc.PersistenceHealth(); h.State != PersistHealthy {
+		t.Fatalf("state %v after manual heal, want healthy", h.State)
+	}
+	if want := uint64(1); lsn != want {
+		t.Fatalf("healed checkpoint covers LSN %d, want %d (one acked batch)", lsn, want)
+	}
+	if _, err := svc.ApplyBatch(stream[1]); err != nil {
+		t.Fatalf("mutation after manual heal: %v", err)
+	}
+}
+
+// TestPermanentErrorFailsImmediately: EROFS-class errors skip the probe
+// cycle entirely — probing cannot fix a read-only filesystem.
+func TestPermanentErrorFailsImmediately(t *testing.T) {
+	svc, in, _, sources, stream := faultTestService(t, nil)
+	defer svc.Close()
+	in.Add(faultfs.Rule{Op: faultfs.OpWrite, Path: "wal", Err: syscall.EROFS})
+	if _, err := svc.ApplyBatch(stream[0]); !errors.Is(err, ErrPersistenceFailed) {
+		t.Fatalf("got %v, want ErrPersistenceFailed", err)
+	}
+	h, _ := svc.PersistenceHealth()
+	if h.State != PersistFailed {
+		t.Fatalf("state %v, want failed", h.State)
+	}
+	if h.NextProbe != 0 {
+		t.Fatal("failed persistence still schedules probes")
+	}
+	// Failure is terminal for writes but not for reads.
+	if _, err := svc.ApplyBatch(stream[1]); !errors.Is(err, ErrPersistenceFailed) {
+		t.Fatalf("second mutation: got %v", err)
+	}
+	if _, err := svc.TopK(sources[0], 5); err != nil {
+		t.Fatalf("read after permanent failure: %v", err)
+	}
+	if _, err := svc.Checkpoint(); !errors.Is(err, ErrPersistenceFailed) {
+		t.Fatalf("checkpoint after permanent failure: got %v", err)
+	}
+}
+
+// TestProbeCapFailsPersistence: when the storage never heals, the probe
+// budget runs out and the state machine lands in FAILED instead of probing
+// forever.
+func TestProbeCapFailsPersistence(t *testing.T) {
+	svc, in, _, _, stream := faultTestService(t, func(p *PersistOptions) {
+		p.ProbeMax = 2
+	})
+	defer svc.Close()
+	// Every write-path op fails from here on: the probes cannot succeed.
+	rule := in.Add(faultfs.Rule{Op: faultfs.OpAny, Times: -1})
+	if _, err := svc.ApplyBatch(stream[0]); !errors.Is(err, ErrPersistenceDegraded) {
+		t.Fatalf("got %v", err)
+	}
+	waitPersistState(t, svc, PersistFailed)
+	st := svc.Stats().Persistence
+	if st.ProbeAttempts < 2 {
+		t.Fatalf("gave up after %d probe attempts, want the ProbeMax=2 budget spent", st.ProbeAttempts)
+	}
+	in.Disarm(rule) // storage "heals", but failed is terminal until restart
+	if _, err := svc.ApplyBatch(stream[0]); !errors.Is(err, ErrPersistenceFailed) {
+		t.Fatalf("mutation after terminal failure: got %v", err)
+	}
+}
+
+// TestHealedStateRecoversFromDisk: after a degrade/heal cycle, the on-disk
+// pair must reconstruct the exact served state — the heal's rotated WAL and
+// re-written checkpoint are trusted by an actual recovery, not just by the
+// probe's own verification.
+func TestHealedStateRecoversFromDisk(t *testing.T) {
+	svc, in, dir, sources, stream := faultTestService(t, nil)
+	if _, err := svc.ApplyBatch(stream[0]); err != nil {
+		t.Fatal(err)
+	}
+	in.Add(faultfs.Rule{Op: faultfs.OpWrite, Path: "wal", Mode: faultfs.ModePartial, Partial: 6})
+	if _, err := svc.ApplyBatch(stream[1]); !errors.Is(err, ErrPersistenceDegraded) {
+		t.Fatal("torn append did not degrade")
+	}
+	waitPersistState(t, svc, PersistHealthy)
+	for _, b := range stream[1:] {
+		if _, err := svc.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := make(map[VertexID][]float64, len(sources))
+	for _, s := range sources {
+		est, err := svc.Estimates(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[s] = est
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := NewServiceFromRecovery(ServiceOptions{Options: svc.opts.Options, PoolWorkers: 1},
+		PersistOptions{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("recovery after a healed episode: %v", err)
+	}
+	defer rec.Close()
+	for _, s := range sources {
+		got, err := rec.Estimates(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitsEqual(got, want[s]) {
+			t.Fatalf("source %d: recovered estimates differ from the healed live state", s)
+		}
+	}
+}
+
+// TestBootSweepsTmpLeftovers: a crash mid-degraded-episode can strand temp
+// files; both boot paths must remove them.
+func TestBootSweepsTmpLeftovers(t *testing.T) {
+	svc, _, dir, _, stream := faultTestService(t, nil)
+	if _, err := svc.ApplyBatch(stream[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"checkpoint.tmp", "wal.log.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("stranded"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, err := NewServiceFromRecovery(ServiceOptions{Options: svc.opts.Options, PoolWorkers: 1},
+		PersistOptions{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("boot left stranded temp file %s", e.Name())
+		}
+	}
+}
